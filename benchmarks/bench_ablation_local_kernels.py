@@ -1,0 +1,56 @@
+"""Ablation: local join kernels — sort-merge vs hash, radix vs introsort.
+
+The distributed algorithms sit on node-local kernels: the paper uses
+MSB-radix sort-merge-joins.  This bench compares the library's three
+kernels on the same inputs (correctness is asserted; throughput is the
+pytest-benchmark measurement of the whole comparison run).
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult, Group, Row
+from repro.joins.local import join_indices
+from repro.joins.local_hash import hash_join_indices
+from repro.joins.radix import radix_sort
+
+
+def run_comparison(size: int = 200_000) -> ExperimentResult:
+    rng = np.random.default_rng(0)
+    left = rng.integers(0, size // 2, size)
+    right = rng.integers(0, size // 2, size)
+    result = ExperimentResult(
+        experiment_id="ablation-local-kernels",
+        title=f"Local kernels on {size} x {size} tuples",
+        unit="seconds (wall clock, this machine)",
+    )
+    group = Group(label="equi-join kernels")
+    timings = {}
+    for name, kernel in (("sort-merge join", join_indices), ("hash join", hash_join_indices)):
+        start = time.perf_counter()
+        li, ri = kernel(left, right)
+        timings[name] = (time.perf_counter() - start, len(li))
+        group.rows.append(Row(name, timings[name][0]))
+    assert timings["sort-merge join"][1] == timings["hash join"][1]
+    result.groups.append(group)
+
+    sort_group = Group(label="key sorting")
+    keys = rng.integers(0, 2**40, size)
+    start = time.perf_counter()
+    ours = radix_sort(keys)
+    sort_group.rows.append(Row("MSB radix sort", time.perf_counter() - start))
+    start = time.perf_counter()
+    reference = np.sort(keys)
+    sort_group.rows.append(Row("numpy introsort", time.perf_counter() - start))
+    assert np.array_equal(ours, reference)
+    result.groups.append(sort_group)
+    return result
+
+
+def test_local_kernels(benchmark, record_report):
+    result = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    record_report(result)
+    for group in result.groups:
+        for row in group.rows:
+            assert row.measured > 0

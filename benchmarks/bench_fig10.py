@@ -1,0 +1,19 @@
+"""Figure 10: workload Y slowest join, original ordering (varbyte).
+
+Expected shape (paper): heavy pre-existing collocation lets every track
+join variant move a small fraction of hash join's bytes; broadcast
+joins are far off the chart.
+"""
+
+from repro.experiments.figures import run_fig10
+
+
+def test_fig10(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig10(scale_denominator=256), rounds=1, iterations=1
+    )
+    record_report(result)
+    group = result.groups[0].label
+    hj = result.measured(group, "HJ")
+    for variant in ("2TJ-R", "3TJ", "4TJ"):
+        assert result.measured(group, variant) < 0.5 * hj, variant

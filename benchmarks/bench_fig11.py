@@ -1,0 +1,22 @@
+"""Figure 11: workload Y, shuffled (all locality removed).
+
+Expected shape (paper): 2-phase track join is prohibitive broadcasting
+S to R locations, ~3x hash join in the opposite direction, 3-phase
+similar; only 4-phase adapts, transferring ~28% less than hash join.
+"""
+
+from repro.experiments.figures import run_fig11
+
+
+def test_fig11(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig11(scale_denominator=256), rounds=1, iterations=1
+    )
+    record_report(result)
+    group = result.groups[0].label
+    hj = result.measured(group, "HJ")
+    assert result.measured(group, "2TJ-S") > 3 * hj
+    assert 1.5 * hj < result.measured(group, "2TJ-R") < 4 * hj
+    assert result.measured(group, "3TJ") > 1.5 * hj
+    four = result.measured(group, "4TJ")
+    assert 0.5 * hj < four < hj  # paper: 28% less than hash join

@@ -1,0 +1,11 @@
+"""Figures 1-2: the worked per-key scheduling examples (exact match)."""
+
+from repro.experiments.figures import run_fig1_fig2
+
+
+def test_fig1_fig2(benchmark, record_report):
+    result = benchmark.pedantic(run_fig1_fig2, rounds=3, iterations=1)
+    record_report(result)
+    for group in result.groups:
+        for row in group.rows:
+            assert row.measured == row.paper, f"{group.label}/{row.label}"

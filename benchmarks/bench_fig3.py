@@ -1,0 +1,23 @@
+"""Figure 3: synthetic 1e9 x 1e9 unique-key joins, three width ratios.
+
+Expected shape (paper): with 20/60-byte rows track join moves only the
+narrow R tuples to the single matching S location, roughly halving hash
+join's traffic; the margin narrows as R widens to 60 bytes.  Broadcast
+joins are off the chart (printed values 279.4/558.8/838.2 GiB).
+"""
+
+from repro.experiments.figures import run_fig3
+
+
+def test_fig3(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scaled_tuples=250_000), rounds=1, iterations=1
+    )
+    record_report(result)
+    for group in result.groups:
+        # Broadcast totals are analytic; the simulation must match them.
+        for label in ("BJ-R", "BJ-S"):
+            row = result.row(group.label, label)
+            assert abs(row.measured - row.paper) / row.paper < 0.02
+        # Track join beats hash join whenever 2*wk <= max(wR, wS).
+        assert result.measured(group.label, "4TJ") < result.measured(group.label, "HJ")

@@ -1,0 +1,12 @@
+"""Figure 5: both sides repeat 5x, intra-table collocation only."""
+
+from repro.experiments.figures import run_fig5
+
+
+def test_fig5(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig5(scaled_keys=40_000), rounds=1, iterations=1
+    )
+    record_report(result)
+    four_phase = [result.measured(g.label, "4TJ") for g in result.groups]
+    assert four_phase[0] < four_phase[1] < four_phase[2]

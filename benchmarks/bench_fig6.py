@@ -1,0 +1,17 @@
+"""Figure 6: both sides repeat 5x, inter & intra collocation.
+
+Expected shape (paper): with all ten matching tuples collocated track
+join eliminates all payload transfers — only tracking traffic remains.
+"""
+
+from repro.experiments.figures import run_fig6
+
+
+def test_fig6(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig6(scaled_keys=40_000), rounds=1, iterations=1
+    )
+    record_report(result)
+    collocated = result.row(result.groups[0].label, "4TJ")
+    assert collocated.breakdown["R Tuples"] == 0.0
+    assert collocated.breakdown["S Tuples"] == 0.0

@@ -1,0 +1,27 @@
+"""Figure 8: workload X Q1, shuffled ordering (locality removed).
+
+Expected shape (paper): hash join is unchanged vs Figure 7 while track
+join loses its locality advantage yet still undercuts hash join because
+X's payloads are wide relative to its 30-bit keys.
+"""
+
+from repro.experiments.figures import run_fig7, run_fig8
+
+
+def test_fig8(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig8(scale_denominator=1024), rounds=1, iterations=1
+    )
+    record_report(result)
+    original = run_fig7(scale_denominator=1024)
+    for group in result.groups:
+        # Hash join is blind to the shuffle.
+        assert abs(
+            result.measured(group.label, "HJ") - original.measured(group.label, "HJ")
+        ) < 0.02 * result.measured(group.label, "HJ")
+        # Track join pays more than with the original ordering.
+        assert result.measured(group.label, "2TJ-R") > original.measured(
+            group.label, "2TJ-R"
+        )
+        # ... but still beats hash join (wide payloads, Section 3.1 rule).
+        assert result.measured(group.label, "2TJ-R") < result.measured(group.label, "HJ")

@@ -1,0 +1,17 @@
+"""Figure 9: HJ vs TJ on X's five slowest queries, optimal dictionary.
+
+Expected shape (paper): track join reduces traffic by 53/45/46/48/52%
+on Q1-Q5 respectively.
+"""
+
+from repro.experiments.figures import run_fig9
+
+
+def test_fig9(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_fig9(scale_denominator=1024), rounds=1, iterations=1
+    )
+    record_report(result)
+    for group in result.groups:
+        row = result.row(group.label, "traffic reduction (%)")
+        assert abs(row.measured - row.paper) < 10.0, f"{group.label}: {row.measured}"

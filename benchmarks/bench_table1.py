@@ -1,0 +1,15 @@
+"""Table 1: the workload X Q1 surrogate's column statistics."""
+
+from repro.experiments.tables import run_table1
+
+
+def test_table1(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale_denominator=512), rounds=1, iterations=1
+    )
+    record_report(result)
+    for group in result.groups:
+        for row in group.rows:
+            assert abs(row.measured - row.paper) / max(row.paper, 1) < 0.05, (
+                f"{group.label}/{row.label}"
+            )

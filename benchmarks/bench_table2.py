@@ -1,0 +1,30 @@
+"""Table 2: CPU & network seconds per algorithm on X and Y (4 nodes).
+
+Expected shape (paper): hash join network time dwarfs CPU everywhere;
+track join cuts X's network time by ~56% (original) / ~29% (shuffled)
+and Y's by ~64% (original), while only 4-phase helps on shuffled Y
+(~40% reduction at ~9% extra CPU).
+"""
+
+from repro.experiments.tables import run_table2
+
+
+def test_table2(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_table2(scale_x=1024, scale_y=256), rounds=1, iterations=1
+    )
+    record_report(result)
+    for group in result.groups:
+        if "projection" in group.label:
+            continue
+        for row in group.rows:
+            assert row.ratio is not None and 0.5 < row.ratio < 2.0, (
+                f"{group.label}/{row.label}: ratio {row.ratio}"
+            )
+    # Headline claims.
+    assert result.measured("X original", "2TJ Network") < 0.55 * result.measured(
+        "X original", "HJ Network"
+    )
+    assert result.measured("Y shuffled", "4TJ Network") < 0.75 * result.measured(
+        "Y shuffled", "HJ Network"
+    )

@@ -1,0 +1,17 @@
+"""Table 3: distributed hash join per-step seconds."""
+
+from repro.experiments.tables import run_table3
+
+
+def test_table3(benchmark, record_report):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale_x=1024, scale_y=256), rounds=1, iterations=1
+    )
+    record_report(result)
+    for group in result.groups:
+        # The dominant steps — the tuple transfers — must match closely.
+        for step in ("Transfer R tuples", "Transfer S tuples"):
+            row = result.row(group.label, step)
+            assert abs(row.measured - row.paper) / row.paper < 0.1, (
+                f"{group.label}/{step}"
+            )

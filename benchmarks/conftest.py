@@ -1,0 +1,36 @@
+"""Benchmark harness support.
+
+Every benchmark reproduces one paper table/figure, records its runtime
+with pytest-benchmark, and registers the rendered paper-vs-measured
+report here; the reports are printed in the terminal summary so
+``pytest benchmarks/ --benchmark-only`` regenerates the paper's
+evaluation as readable output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import render
+
+_collected_reports: list[str] = []
+
+
+@pytest.fixture
+def record_report():
+    """Register an ExperimentResult for the end-of-run summary."""
+
+    def _record(result):
+        _collected_reports.append(render(result))
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected_reports:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for text in _collected_reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,64 @@
+"""Track join on MapReduce: fine-grained scheduling on a generic engine.
+
+Section 6 of the paper observes that generic distributed frameworks
+optimize network use at the granularity of map/reduce placement, and
+that track join "can be re-implemented for MapReduce" to get per-key
+collocation on top.  This example runs the same join three ways —
+native hash join, MapReduce hash join, and MapReduce track join — and
+shows the MR track join's traffic equals the native track join's, byte
+for byte and per message class.
+
+Run:  python examples/mapreduce_track_join.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, GraceHashJoin, JoinSpec, Schema, TrackJoin2, random_uniform
+from repro.mapreduce import mr_hash_join, mr_track_join
+
+
+def main() -> None:
+    cluster = Cluster(8)
+    rng = np.random.default_rng(3)
+    schema_r = Schema.with_widths(32, 64)     # 4 B key + 8 B payload
+    schema_s = Schema.with_widths(32, 448)    # 4 B key + 56 B payload
+    keys = np.arange(150_000, dtype=np.int64)
+    table_r = cluster.table_from_assignment(
+        "R", schema_r, keys, random_uniform(len(keys), 8, seed=1)
+    )
+    table_s = cluster.table_from_assignment(
+        "S", schema_s, keys, random_uniform(len(keys), 8, seed=2)
+    )
+    spec = JoinSpec()
+
+    native_hash = GraceHashJoin().run(cluster, table_r, table_s, spec)
+    native_track = TrackJoin2("RS").run(cluster, table_r, table_s, spec)
+    mr_hash = mr_hash_join(cluster, table_r, table_s, spec)
+    tracking, joined = mr_track_join(cluster, table_r, table_s, spec)
+    mr_track_bytes = tracking.network_bytes + joined.network_bytes
+
+    print("150k x 150k unique-key join, 8 nodes, 12/60-byte tuples\n")
+    print(f"{'implementation':<26} {'network MB':>11}")
+    print("-" * 40)
+    print(f"{'native hash join':<26} {native_hash.network_bytes / 1e6:>11.3f}")
+    print(f"{'MapReduce hash join':<26} {mr_hash.network_bytes / 1e6:>11.3f}")
+    print(f"{'native 2-phase track join':<26} {native_track.network_bytes / 1e6:>11.3f}")
+    print(f"{'MapReduce track join':<26} {mr_track_bytes / 1e6:>11.3f}")
+
+    combined = tracking.traffic.merged_with(joined.traffic)
+    print("\nper message class (MR track join vs native):")
+    for name, nbytes in combined.breakdown().items():
+        native = native_track.breakdown()[name]
+        if nbytes or native:
+            print(f"  {name:<12} MR={nbytes / 1e6:8.3f} MB   native={native / 1e6:8.3f} MB")
+    print(
+        "\nThe custom partitioner (location records from the tracking job)\n"
+        "reproduces the native operator's transfers exactly — fine-grained\n"
+        "collocation is expressible on a coarse-grained framework."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Command-line entry point: reproduce paper experiments.
+
+Usage::
+
+    python -m repro list                 # show registered experiments
+    python -m repro fig3                 # run one experiment
+    python -m repro fig4 bars=1          # render as ASCII stacked bars
+    python -m repro all                  # run everything (slow)
+
+Options after the experiment id are forwarded as ``key=value`` pairs,
+e.g. ``python -m repro fig3 scaled_tuples=50000``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import EXPERIMENTS, render, render_bars, run_experiment
+
+
+def _parse_value(raw: str):
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    command = argv[0]
+    kwargs = dict(pair.split("=", 1) for pair in argv[1:] if "=" in pair)
+    kwargs = {key: _parse_value(value) for key, value in kwargs.items()}
+    if command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if command == "all":
+        for experiment_id in EXPERIMENTS:
+            print(render(run_experiment(experiment_id)))
+            print()
+        return 0
+    as_bars = bool(kwargs.pop("bars", False))
+    try:
+        result = run_experiment(command, **kwargs)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(render_bars(result) if as_bars else render(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

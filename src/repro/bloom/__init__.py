@@ -1,0 +1,5 @@
+"""Bloom filter substrate for semi-join reduction (Section 3.3)."""
+
+from .filter import BloomFilter, optimal_bits_per_element, optimal_num_hashes
+
+__all__ = ["BloomFilter", "optimal_bits_per_element", "optimal_num_hashes"]

@@ -1,0 +1,7 @@
+"""Cluster simulator: nodes, network fabric, and traffic accounting."""
+
+from .cluster import Cluster
+from .network import Message, MessageClass, Network, TrafficLedger
+from .node import Node
+
+__all__ = ["Cluster", "Network", "Node", "Message", "MessageClass", "TrafficLedger"]

@@ -1,0 +1,59 @@
+"""Cluster: N nodes plus the network fabric that connects them.
+
+A :class:`Cluster` is the execution context every distributed join runs
+in.  It owns the :class:`~repro.cluster.network.Network` (and therefore
+the traffic ledger) and a :class:`~repro.cluster.node.Node` per machine.
+Helper constructors build distributed tables directly onto the cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import JoinConfigError
+from ..storage.schema import Schema
+from ..storage.table import DistributedTable
+from .network import Network
+from .node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A fully connected cluster of ``num_nodes`` simulated machines."""
+
+    def __init__(self, num_nodes: int):
+        self.network = Network(num_nodes)
+        self.nodes = [Node(i) for i in range(num_nodes)]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of machines in the cluster."""
+        return self.network.num_nodes
+
+    def reset(self) -> None:
+        """Clear node scratch state and start a fresh traffic ledger."""
+        for node in self.nodes:
+            node.clear()
+        self.network.reset_ledger()
+
+    def check_table(self, table: DistributedTable) -> None:
+        """Validate that a table is partitioned for this cluster."""
+        if table.num_nodes != self.num_nodes:
+            raise JoinConfigError(
+                f"table {table.name!r} has {table.num_nodes} partitions, "
+                f"cluster has {self.num_nodes} nodes"
+            )
+
+    def table_from_assignment(
+        self,
+        name: str,
+        schema: Schema,
+        keys: np.ndarray,
+        node_of_row: np.ndarray,
+        columns: dict[str, np.ndarray] | None = None,
+    ) -> DistributedTable:
+        """Scatter rows onto this cluster (see ``DistributedTable.from_assignment``)."""
+        return DistributedTable.from_assignment(
+            name, schema, keys, node_of_row, self.num_nodes, columns=columns
+        )

@@ -1,0 +1,31 @@
+"""A simulated cluster node.
+
+Nodes are deliberately thin: they identify one participant of the
+cluster and provide a scratch ``state`` dictionary that join operators
+use for per-node intermediate structures (tracking tables, received
+fragments, schedules).  All persistent relation data lives in
+:class:`~repro.storage.table.DistributedTable` partitions, which the
+cluster hands to each node by index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Node"]
+
+
+@dataclass
+class Node:
+    """One logical machine of the simulated cluster."""
+
+    index: int
+    state: dict[str, Any] = field(default_factory=dict)
+
+    def clear(self) -> None:
+        """Drop all scratch state (called between joins)."""
+        self.state.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.index} state={list(self.state)}>"

@@ -1,0 +1,33 @@
+"""Track join core: tracking, per-key schedule generation, operators."""
+
+from .balance import BalanceAwareTrackJoin
+from .messages import location_message_bytes, tracking_message_bytes
+from .schedule import (
+    BroadcastPlan,
+    KeySchedule,
+    ScheduleSet,
+    generate_schedules,
+    migrate_and_broadcast,
+    optimal_schedule,
+    selective_broadcast_cost,
+)
+from .track_join import TrackJoin2, TrackJoin3, TrackJoin4
+from .tracking import TrackingTable, run_tracking_phase
+
+__all__ = [
+    "TrackJoin2",
+    "TrackJoin3",
+    "TrackJoin4",
+    "BalanceAwareTrackJoin",
+    "TrackingTable",
+    "run_tracking_phase",
+    "BroadcastPlan",
+    "KeySchedule",
+    "ScheduleSet",
+    "selective_broadcast_cost",
+    "migrate_and_broadcast",
+    "optimal_schedule",
+    "generate_schedules",
+    "tracking_message_bytes",
+    "location_message_bytes",
+]

@@ -1,0 +1,168 @@
+"""Balance-aware track join (the paper's Section 5 future work).
+
+Section 5 observes that minimizing *total* traffic can concentrate
+transfers on a few nodes when locality is skewed: "If some nodes exhibit
+more locality than others, we need to take into account the balancing of
+transfers among nodes and not only aim for minimal network traffic."
+
+:class:`BalanceAwareTrackJoin` implements that extension.  Schedule
+generation proceeds exactly as in 4-phase track join, but destination
+choices are made against a running estimate of per-node *received*
+bytes: among candidate consolidation destinations whose cost is within
+``tolerance`` of the optimum, the least-loaded node wins, and keys are
+processed in random order so early keys do not systematically favour
+low-numbered nodes.
+
+The result trades a bounded amount of extra traffic (at most
+``tolerance`` per key, usually none) for a flatter receive distribution
+— measured by :meth:`~repro.joins.base.JoinResult.node_balance`.
+
+Implementation note: the per-key candidate evaluation is the scalar
+scheduling primitive, so this operator is intended for moderate key
+counts; the traffic-optimal :class:`~repro.core.track_join.TrackJoin4`
+remains the fast vectorized path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..joins.base import JoinSpec
+from ..storage.table import DistributedTable, LocalPartition
+from ..timing.profile import ExecutionProfile
+from ..util import segment_ids
+from .schedule import ScheduleSet, migrate_and_broadcast
+from .track_join import TrackJoin4, _execute_schedules
+from .tracking import run_tracking_phase
+
+__all__ = ["BalanceAwareTrackJoin"]
+
+
+class BalanceAwareTrackJoin(TrackJoin4):
+    """4-phase track join with load-balanced destination choices.
+
+    Parameters
+    ----------
+    tolerance:
+        Extra bytes per key the balancer may spend to pick a less
+        loaded destination (0 keeps traffic optimal and only breaks
+        exact ties by load).
+    seed:
+        Order in which keys update the load estimate.
+    """
+
+    name = "4TJ-bal"
+
+    def __init__(self, tolerance: float = 0.0, seed: int = 0):
+        self.tolerance = float(tolerance)
+        self.seed = seed
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        tracking = run_tracking_phase(
+            cluster, table_r, table_s, spec, profile, with_counts=True
+        )
+        key_width = table_r.schema.key_width(spec.encoding)
+        message_width = key_width + spec.location_width
+        num_entries = tracking.num_entries
+        if num_entries == 0:
+            schedules = ScheduleSet(
+                tracking,
+                np.empty(0, dtype=bool),
+                np.empty(0),
+                np.empty(0),
+                np.empty(0),
+                np.empty(0, dtype=bool),
+                np.empty(0, dtype=np.int64),
+            )
+            return _execute_schedules(cluster, table_r, table_s, spec, profile, schedules)
+
+        seg = segment_ids(tracking.key_starts, num_entries)
+        num_keys = tracking.num_keys
+        direction_rs = np.zeros(num_keys, dtype=bool)
+        migrate = np.zeros(num_entries, dtype=bool)
+        dest_node = np.full(num_keys, -1, dtype=np.int64)
+        cost = np.zeros(num_keys)
+        cost_rs = np.zeros(num_keys)
+        cost_sr = np.zeros(num_keys)
+        received_load = np.zeros(cluster.num_nodes)
+
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(num_keys)
+        key_ends = np.append(tracking.key_starts[1:], num_entries)
+        for key in order:
+            start, end = tracking.key_starts[key], key_ends[key]
+            entries = slice(start, end)
+            nodes = tracking.nodes[entries]
+            sizes_r = dict(zip(nodes.tolist(), tracking.size_r[entries].tolist()))
+            sizes_s = dict(zip(nodes.tolist(), tracking.size_s[entries].tolist()))
+            sizes_r = {n: v for n, v in sizes_r.items() if v > 0}
+            sizes_s = {n: v for n, v in sizes_s.items() if v > 0}
+            scheduler = int(tracking.t_nodes[key])
+            plan_rs = migrate_and_broadcast(sizes_r, sizes_s, scheduler, message_width)
+            plan_sr = migrate_and_broadcast(sizes_s, sizes_r, scheduler, message_width)
+            cost_rs[key], cost_sr[key] = plan_rs.cost, plan_sr.cost
+            rs_better = plan_rs.cost < plan_sr.cost
+            # Within tolerance, pick the direction whose destination set
+            # is less loaded.
+            if abs(plan_rs.cost - plan_sr.cost) <= self.tolerance:
+                load_rs = self._destination_load(sizes_s, plan_rs, received_load)
+                load_sr = self._destination_load(sizes_r, plan_sr, received_load)
+                rs_better = load_rs <= load_sr
+            direction_rs[key] = rs_better
+            plan = plan_rs if rs_better else plan_sr
+            broadcast = sizes_r if rs_better else sizes_s
+            targets = sizes_s if rs_better else sizes_r
+            cost[key] = plan.cost
+
+            final_targets = [n for n in targets if n not in plan.migrating_nodes]
+            if plan.migrating_nodes:
+                # Load-aware destination: any surviving holder is cost
+                # equivalent (Theorem 1), so pick the least loaded.
+                destination = min(final_targets, key=lambda n: received_load[n])
+                dest_node[key] = destination
+                migrating = set(plan.migrating_nodes)
+                for entry in range(start, end):
+                    holder = int(tracking.nodes[entry])
+                    if holder in migrating and targets.get(holder, 0) > 0:
+                        migrate[entry] = True
+                        received_load[destination] += targets[holder]
+            # Broadcast load: every final target receives the broadcast
+            # side's remote bytes.
+            total_broadcast = sum(broadcast.values())
+            for target in final_targets:
+                received_load[target] += total_broadcast - broadcast.get(target, 0.0)
+
+        schedules = ScheduleSet(
+            tracking=tracking,
+            direction_rs=direction_rs,
+            cost=cost,
+            cost_rs=cost_rs,
+            cost_sr=cost_sr,
+            migrate=migrate,
+            dest_node=dest_node,
+        )
+        per_tnode = np.bincount(
+            tracking.t_nodes[seg],
+            weights=np.full(num_entries, key_width + spec.location_width + spec.count_width_r),
+            minlength=cluster.num_nodes,
+        )
+        profile.add_cpu("Generate schedules and partition by node", "schedule", per_tnode)
+        return _execute_schedules(cluster, table_r, table_s, spec, profile, schedules)
+
+    @staticmethod
+    def _destination_load(
+        targets: dict[int, float], plan, received_load: np.ndarray
+    ) -> float:
+        """Current load of the busiest surviving destination of a plan."""
+        stay = [n for n in targets if n not in plan.migrating_nodes]
+        if not stay:
+            return 0.0
+        return float(max(received_load[n] for n in stay))

@@ -1,0 +1,443 @@
+"""The track join operators: 2-phase, 3-phase, and 4-phase variants.
+
+All three share the same skeleton, faithful to Section 2:
+
+1. **Tracking** — project both inputs to their join keys, deduplicate
+   locally, and ship (key [, count]) entries to each key's scheduling
+   node (:mod:`repro.core.tracking`).
+2. **Scheduling** — the scheduling nodes generate a transfer plan per
+   distinct key (:mod:`repro.core.schedule`): a fixed selective
+   broadcast direction (2-phase), the cheaper direction per key
+   (3-phase), or the cheaper *optimized* direction with migrations
+   (4-phase).
+3. **Migration** (4-phase only) — nodes told to consolidate move their
+   matching tuples of the broadcast-target side to the designated
+   destination.
+4. **Selective broadcast** — scheduling nodes send (key, destination)
+   location messages to the broadcast-side holders, which ship their
+   matching tuples only to nodes with matches; each destination joins
+   the received tuples against its (post-migration) local fragment.
+
+The executor moves real numpy-backed tuple batches through the
+simulated network, so output correctness and byte-exact traffic both
+fall out of the same run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass
+from ..joins.base import DistributedJoin, JoinSpec
+from ..joins.local import join_indices, local_join
+from ..storage.table import DistributedTable, LocalPartition
+from ..timing.profile import ExecutionProfile
+from ..util import segment_ids, segmented_cartesian
+from .messages import location_message_bytes
+from .schedule import ScheduleSet, generate_schedules
+from .tracking import run_tracking_phase
+
+__all__ = ["TrackJoin2", "TrackJoin3", "TrackJoin4"]
+
+
+class _TrackJoinBase(DistributedJoin):
+    """Shared tracking/scheduling/broadcast skeleton of all variants."""
+
+    #: 3/4-phase tracking carries per-node match counts.
+    with_counts: bool = True
+    #: 4-phase adds the migration optimization.
+    allow_migration: bool = True
+    #: 2-phase pins every key to one direction ("RS" or "SR").
+    forced_direction: str | None = None
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        tracking = run_tracking_phase(
+            cluster, table_r, table_s, spec, profile, with_counts=self.with_counts
+        )
+        key_width = table_r.schema.key_width(spec.encoding)
+        if tracking.num_entries:
+            # Schedule generation happens at the T nodes; its work is
+            # linear in the number of tracked (key, node) entries.
+            entry_footprint = key_width + spec.location_width + spec.count_width_r
+            seg = segment_ids(tracking.key_starts, tracking.num_entries)
+            per_tnode = np.bincount(
+                tracking.t_nodes[seg],
+                weights=np.full(tracking.num_entries, entry_footprint),
+                minlength=cluster.num_nodes,
+            )
+            profile.add_cpu(
+                "Generate schedules and partition by node", "schedule", per_tnode
+            )
+        # The paper's scheduling pseudocode treats M as the size of one
+        # whole location message ("logically seen as key and node pairs,
+        # have size equal to M"), so schedules are generated with the
+        # full wire width of a (key, node) pair — keeping migration
+        # decisions consistent with the bytes actually sent.
+        schedules = generate_schedules(
+            tracking,
+            location_width=key_width + spec.location_width,
+            allow_migration=self.allow_migration,
+            forced_direction=self.forced_direction,
+        )
+        return _execute_schedules(
+            cluster, table_r, table_s, spec, profile, schedules
+        )
+
+
+class TrackJoin2(_TrackJoinBase):
+    """2-phase (single broadcast) track join.
+
+    Tracks bare key locations, then selectively broadcasts one side's
+    tuples to the other side's locations.  The direction is a query
+    optimizer decision taken before execution, like the inner/outer
+    distinction of hash join.
+    """
+
+    with_counts = False
+    allow_migration = False
+
+    def __init__(self, direction: str = "RS"):
+        if direction not in ("RS", "SR"):
+            raise ValueError(f"direction must be 'RS' or 'SR', got {direction!r}")
+        self.forced_direction = direction
+        self.name = "2TJ-R" if direction == "RS" else "2TJ-S"
+
+
+class TrackJoin3(_TrackJoinBase):
+    """3-phase (double broadcast) track join.
+
+    Tracking carries per-node match sizes, and the cheaper selective
+    broadcast direction is chosen independently for every distinct key.
+    """
+
+    name = "3TJ"
+    allow_migration = False
+
+
+class TrackJoin4(_TrackJoinBase):
+    """4-phase (full) track join.
+
+    Adds the migration phase: per key, tuples of the broadcast-target
+    side are consolidated onto fewer nodes whenever that lowers total
+    traffic, producing the minimum possible payload transfers for an
+    early-materialized distributed join (Theorems 1-2).
+    """
+
+    name = "4TJ"
+
+
+# ---------------------------------------------------------------------------
+# Schedule execution
+# ---------------------------------------------------------------------------
+
+
+def _execute_schedules(
+    cluster: Cluster,
+    table_r: DistributedTable,
+    table_s: DistributedTable,
+    spec: JoinSpec,
+    profile: ExecutionProfile,
+    sched: ScheduleSet,
+) -> list[LocalPartition]:
+    """Run migrations, selective broadcasts, and final local joins."""
+    num_nodes = cluster.num_nodes
+    tracking = sched.tracking
+    key_width = table_r.schema.key_width(spec.encoding)
+    widths = {
+        "R": table_r.schema.tuple_width(spec.encoding),
+        "S": table_s.schema.tuple_width(spec.encoding),
+    }
+    categories = {"R": MessageClass.R_TUPLES, "S": MessageClass.S_TUPLES}
+    work: dict[str, list[LocalPartition]] = {
+        "R": list(table_r.partitions),
+        "S": list(table_s.partitions),
+    }
+    out_names = tuple("r." + n for n in table_r.payload_names) + tuple(
+        "s." + n for n in table_s.payload_names
+    )
+    out_width = widths["R"] + table_s.schema.payload_width(spec.encoding)
+
+    if tracking.num_entries == 0:
+        return [LocalPartition.empty(out_names) for _ in range(num_nodes)]
+
+    seg = segment_ids(tracking.key_starts, tracking.num_entries)
+    entry_dir_rs = sched.direction_rs[seg]
+    has_r = tracking.size_r > 0
+    has_s = tracking.size_s > 0
+
+    # ---- Phase A: migrations (4-phase only; sched.migrate is all-False
+    # otherwise).  For RS keys the S side consolidates, for SR keys R.
+    for side, entry_mask in (
+        ("S", sched.migrate & entry_dir_rs),
+        ("R", sched.migrate & ~entry_dir_rs),
+    ):
+        _run_migrations(
+            cluster, spec, profile, tracking, seg, sched, side, entry_mask,
+            work, widths, key_width,
+        )
+    _apply_received_tuples(cluster, work)
+
+    # ---- Phase B: location messages + selective broadcasts.
+    for b_side, t_side, key_is_this_dir in (
+        ("R", "S", entry_dir_rs),
+        ("S", "R", ~entry_dir_rs),
+    ):
+        has_b = has_r if b_side == "R" else has_s
+        has_t = has_s if b_side == "R" else has_r
+        b_idx = np.flatnonzero(key_is_this_dir & has_b)
+        d_idx = np.flatnonzero(key_is_this_dir & has_t & ~sched.migrate)
+        if len(b_idx) == 0 or len(d_idx) == 0:
+            continue
+        ia, ib = segmented_cartesian(seg[b_idx], seg[d_idx])
+        pair_src = tracking.nodes[b_idx][ia]
+        pair_dst = tracking.nodes[d_idx][ib]
+        pair_key = tracking.keys[b_idx][ia]
+        pair_t = tracking.t_nodes[seg[b_idx]][ia]
+        step = f"Tran. {b_side} → {t_side} keys, nodes"
+        _account_pair_messages(
+            cluster, spec, profile, step, pair_t, pair_src, pair_dst, key_width
+        )
+        _broadcast_tuples(
+            cluster, spec, profile, work, b_side, t_side,
+            pair_src, pair_dst, pair_key, widths, key_width, categories,
+        )
+
+    # ---- Phase C: final local joins at every destination.
+    output: list[LocalPartition] = []
+    for node in range(num_nodes):
+        received: dict[str, list[LocalPartition]] = {"R": [], "S": []}
+        for msg in cluster.network.deliver(node):
+            if msg.category is MessageClass.R_TUPLES:
+                received["R"].append(msg.payload)
+            elif msg.category is MessageClass.S_TUPLES:
+                received["S"].append(msg.payload)
+        parts: list[LocalPartition] = []
+        if received["R"]:
+            batch = LocalPartition.concat(received["R"])
+            profile.add_cpu_at(
+                "Merge rec. R → S tuples", "sort", node, batch.num_rows * widths["R"]
+            )
+            joined = local_join(batch, work["S"][node], "r.", "s.")
+            profile.add_cpu_at(
+                "Final merge-join R → S",
+                "merge",
+                node,
+                batch.num_rows * widths["R"]
+                + work["S"][node].num_rows * widths["S"]
+                + joined.num_rows * out_width,
+            )
+            parts.append(joined)
+        if received["S"]:
+            batch = LocalPartition.concat(received["S"])
+            profile.add_cpu_at(
+                "Merge rec. S → R tuples", "sort", node, batch.num_rows * widths["S"]
+            )
+            joined = local_join(work["R"][node], batch, "r.", "s.")
+            profile.add_cpu_at(
+                "Final merge-join S → R",
+                "merge",
+                node,
+                batch.num_rows * widths["S"]
+                + work["R"][node].num_rows * widths["R"]
+                + joined.num_rows * out_width,
+            )
+            parts.append(joined)
+        if parts:
+            output.append(LocalPartition.concat(parts))
+        else:
+            output.append(LocalPartition.empty(out_names))
+    return output
+
+
+def _run_migrations(
+    cluster: Cluster,
+    spec: JoinSpec,
+    profile: ExecutionProfile,
+    tracking,
+    seg: np.ndarray,
+    sched: ScheduleSet,
+    side: str,
+    entry_mask: np.ndarray,
+    work: dict[str, list[LocalPartition]],
+    widths: dict[str, float],
+    key_width: float,
+) -> None:
+    """Send migration instructions and move the designated tuples."""
+    idx = np.flatnonzero(entry_mask)
+    if len(idx) == 0:
+        return
+    mig_keys = tracking.keys[idx]
+    mig_nodes = tracking.nodes[idx]
+    mig_dest = sched.dest_node[seg[idx]]
+    mig_t = tracking.t_nodes[seg[idx]]
+
+    # Migration instructions: (key, destination) from the scheduler to
+    # each migrating holder.  Accounted under the direction that uses
+    # them ("Tran. R -> S keys, nodes" when S consolidates, since those
+    # messages enable the R -> S broadcast, and vice versa).
+    other = "R" if side == "S" else "S"
+    step = f"Tran. {other} → {side} keys, nodes"
+    _account_pair_messages(
+        cluster, spec, profile, step, mig_t, mig_nodes, mig_dest, key_width
+    )
+
+    category = MessageClass.R_TUPLES if side == "R" else MessageClass.S_TUPLES
+    transfer_step = f"{side} tuples ({side} migration)"
+    for node in np.unique(mig_nodes):
+        sel = mig_nodes == node
+        keys_here = mig_keys[sel]
+        dest_here = mig_dest[sel]
+        local = work[side][node]
+        pair_pos, rows = join_indices(keys_here, local.keys)
+        if len(rows) == 0:
+            continue
+        moving = local.take(rows)
+        destinations = dest_here[pair_pos]
+        keep = np.ones(local.num_rows, dtype=bool)
+        keep[rows] = False
+        work[side][node] = local.take(np.flatnonzero(keep))
+        order = np.argsort(destinations, kind="stable")
+        bounds = np.searchsorted(destinations[order], np.arange(cluster.num_nodes + 1))
+        for dst in range(cluster.num_nodes):
+            chosen = order[bounds[dst] : bounds[dst + 1]]
+            if len(chosen) == 0:
+                continue
+            batch = moving.take(chosen)
+            nbytes = batch.num_rows * widths[side]
+            cluster.network.send(int(node), dst, category, nbytes, payload=batch)
+            if int(node) == dst:  # pragma: no cover - migrations never self-send
+                profile.add_local(f"Local copy {transfer_step}", int(node), nbytes)
+            else:
+                profile.add_net_at(
+                    f"Transfer {side} → {other} tuples", int(node), nbytes
+                )
+
+
+def _apply_received_tuples(cluster: Cluster, work: dict[str, list[LocalPartition]]) -> None:
+    """Barrier after migration: append received tuples to local fragments."""
+    for node in range(cluster.num_nodes):
+        extra: dict[str, list[LocalPartition]] = {"R": [], "S": []}
+        for msg in cluster.network.deliver(node):
+            if msg.category is MessageClass.R_TUPLES:
+                extra["R"].append(msg.payload)
+            elif msg.category is MessageClass.S_TUPLES:
+                extra["S"].append(msg.payload)
+        for side in ("R", "S"):
+            if extra[side]:
+                work[side][node] = LocalPartition.concat([work[side][node]] + extra[side])
+
+
+def _account_pair_messages(
+    cluster: Cluster,
+    spec: JoinSpec,
+    profile: ExecutionProfile,
+    step: str,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    node_values: np.ndarray,
+    key_width: float,
+) -> None:
+    """Account (key, node) messages grouped by (sender, receiver) link.
+
+    Messages whose sender is the receiving node itself are free (the
+    scheduler addressing a local holder), which is the ``i != self``
+    exclusion in the paper's cost routines.
+    """
+    if len(senders) == 0:
+        return
+    order = np.lexsort((node_values, receivers, senders))
+    s_sorted = senders[order]
+    r_sorted = receivers[order]
+    v_sorted = node_values[order]
+    change = np.empty(len(order), dtype=bool)
+    change[0] = True
+    np.logical_or(
+        s_sorted[1:] != s_sorted[:-1], r_sorted[1:] != r_sorted[:-1], out=change[1:]
+    )
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, len(order)))
+    for group_start, group_count in zip(starts, counts):
+        src = int(s_sorted[group_start])
+        dst = int(r_sorted[group_start])
+        values = v_sorted[group_start : group_start + group_count]
+        distinct = int(len(np.unique(values)))
+        nbytes = location_message_bytes(
+            int(group_count),
+            distinct,
+            key_width,
+            spec.location_width,
+            group_by_node=spec.group_locations,
+        )
+        cluster.network.send(src, dst, MessageClass.KEYS_NODES, nbytes, payload=None)
+        if src == dst:
+            profile.add_local("Local copy keys, nodes", src, nbytes)
+        else:
+            profile.add_net_at(step, src, nbytes)
+        # Receivers merge the incoming pair lists before acting on them.
+        profile.add_cpu_at("Merge rec. keys, nodes", "merge", dst, nbytes)
+
+
+def _broadcast_tuples(
+    cluster: Cluster,
+    spec: JoinSpec,
+    profile: ExecutionProfile,
+    work: dict[str, list[LocalPartition]],
+    b_side: str,
+    t_side: str,
+    pair_src: np.ndarray,
+    pair_dst: np.ndarray,
+    pair_key: np.ndarray,
+    widths: dict[str, float],
+    key_width: float,
+    categories: dict[str, MessageClass],
+) -> None:
+    """Each broadcast-side holder ships matching tuples per location pair."""
+    num_nodes = cluster.num_nodes
+    order = np.argsort(pair_src, kind="stable")
+    bounds = np.searchsorted(pair_src[order], np.arange(num_nodes + 1))
+    width = widths[b_side]
+    step = f"Transfer {b_side} → {t_side} tuples"
+    copy_step = f"Local copy {b_side} → {t_side} tuples"
+    translate_step = (
+        f"Merge-join {b_side} → {t_side} keys, nodes ⇒ payloads "
+        "and partition by node"
+    )
+    for src in range(num_nodes):
+        rows = order[bounds[src] : bounds[src + 1]]
+        if len(rows) == 0:
+            continue
+        keys_here = pair_key[rows]
+        dst_here = pair_dst[rows]
+        local = work[b_side][src]
+        pair_pos, local_rows = join_indices(keys_here, local.keys)
+        profile.add_cpu_at(
+            translate_step,
+            "merge",
+            src,
+            len(rows) * (key_width + spec.location_width) + len(local_rows) * width,
+        )
+        if len(local_rows) == 0:
+            continue
+        batch_all = local.take(local_rows)
+        destinations = dst_here[pair_pos]
+        d_order = np.argsort(destinations, kind="stable")
+        d_bounds = np.searchsorted(destinations[d_order], np.arange(num_nodes + 1))
+        for dst in range(num_nodes):
+            chosen = d_order[d_bounds[dst] : d_bounds[dst + 1]]
+            if len(chosen) == 0:
+                continue
+            batch = batch_all.take(chosen)
+            nbytes = batch.num_rows * width
+            cluster.network.send(src, dst, categories[b_side], nbytes, payload=batch)
+            if src == dst:
+                profile.add_local(copy_step, src, nbytes)
+            else:
+                profile.add_net_at(step, src, nbytes)

@@ -1,0 +1,198 @@
+"""The tracking phase: discover where every join key's tuples live.
+
+Both inputs are projected to their join key; each node eliminates local
+duplicates and sends its distinct keys — optionally with per-node match
+counts (3/4-phase) — to the key's scheduling node ``hash(k) mod N``.
+The scheduling nodes thereby assemble, for every distinct key, the list
+of nodes holding matches on either side, which is the input to per-key
+schedule generation.
+
+This module materializes that state as a :class:`TrackingTable`: a flat
+"union table" with one row per (key, node) pair that holds at least one
+matching tuple on either side, carrying the total matching tuple *size*
+per side (count x tuple width, generalizing counts to variable lengths
+as the paper prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass
+from ..storage.table import DistributedTable
+from ..timing.profile import ExecutionProfile
+from ..util import hash_partition, segment_boundaries
+from .messages import tracking_message_bytes
+
+__all__ = ["TrackingTable", "run_tracking_phase"]
+
+
+@dataclass
+class TrackingTable:
+    """Union of per-node key occurrences across both tables.
+
+    All arrays are parallel and sorted by ``(key, node)``:
+
+    Attributes
+    ----------
+    keys:
+        Join key of the entry.
+    nodes:
+        Node holding matching tuples of that key.
+    size_r, size_s:
+        Total matching tuple bytes of each table on that node (0 when
+        the node has no tuples of that side).
+    key_starts:
+        Segment offsets: entries of one distinct key are contiguous.
+    t_nodes:
+        Scheduling node of each distinct key (parallel to segments).
+    """
+
+    keys: np.ndarray
+    nodes: np.ndarray
+    size_r: np.ndarray
+    size_s: np.ndarray
+    key_starts: np.ndarray
+    t_nodes: np.ndarray
+
+    @property
+    def num_entries(self) -> int:
+        """Number of (key, node) union rows."""
+        return len(self.keys)
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct tracked keys."""
+        return len(self.key_starts)
+
+    def distinct_keys(self) -> np.ndarray:
+        """The distinct key values, in sorted order."""
+        return self.keys[self.key_starts]
+
+
+def run_tracking_phase(
+    cluster: Cluster,
+    table_r: DistributedTable,
+    table_s: DistributedTable,
+    spec,
+    profile: ExecutionProfile,
+    with_counts: bool = True,
+) -> TrackingTable:
+    """Execute the tracking phase and assemble the global tracking table.
+
+    Parameters
+    ----------
+    with_counts:
+        3/4-phase track join tracks per-node match counts; 2-phase sends
+        bare keys (``False`` drops the count bytes from the traffic).
+    """
+    num_nodes = cluster.num_nodes
+    width_r = table_r.schema.tuple_width(spec.encoding)
+    width_s = table_s.schema.tuple_width(spec.encoding)
+    key_width = table_r.schema.key_width(spec.encoding)
+
+    sides = (
+        ("R", table_r, width_r, spec.count_width_r),
+        ("S", table_s, width_s, spec.count_width_s),
+    )
+    all_keys: list[np.ndarray] = []
+    all_nodes: list[np.ndarray] = []
+    all_sizes: dict[str, list[np.ndarray]] = {"R": [], "S": []}
+
+    for side, table, width, count_width in sides:
+        for node, partition in enumerate(table.partitions):
+            # Local sort + key aggregation (dedup) before tracking.
+            profile.add_cpu_at(
+                f"Sort local {side} tuples", "sort", node, partition.num_rows * width
+            )
+            distinct, counts = np.unique(partition.keys, return_counts=True)
+            profile.add_cpu_at(
+                "Aggregate keys", "aggregate", node, partition.num_rows * key_width
+            )
+            if len(distinct) == 0:
+                continue
+            sizes = counts.astype(np.float64) * width
+            # Ship (key [, count]) entries to each key's scheduling node.
+            t_of_key = hash_partition(distinct, num_nodes, spec.hash_seed)
+            profile.add_cpu_at(
+                "Hash part. keys, counts",
+                "partition",
+                node,
+                len(distinct) * (key_width + (count_width if with_counts else 0)),
+            )
+            order = np.argsort(t_of_key, kind="stable")
+            boundaries = np.searchsorted(t_of_key[order], np.arange(num_nodes + 1))
+            for dst in range(num_nodes):
+                rows = order[boundaries[dst] : boundaries[dst + 1]]
+                if len(rows) == 0:
+                    continue
+                group_keys = distinct[rows]
+                nbytes = tracking_message_bytes(
+                    group_keys,
+                    key_width,
+                    count_width if with_counts else 0.0,
+                    delta_keys=spec.delta_keys,
+                )
+                cluster.network.send(
+                    node, dst, MessageClass.KEYS_COUNTS, nbytes, payload=None
+                )
+                if node == dst:
+                    profile.add_local("Local copy key, count", node, nbytes)
+                else:
+                    profile.add_net_at("Transfer key, count", node, nbytes)
+            all_keys.append(distinct)
+            all_nodes.append(np.full(len(distinct), node, dtype=np.int64))
+            all_sizes[side].append(sizes)
+            all_sizes["S" if side == "R" else "R"].append(
+                np.zeros(len(distinct), dtype=np.float64)
+            )
+
+    # Drain the tracking inboxes (payloads carry no data; the union table
+    # below is the logically-equivalent global state).
+    for _node, _messages in cluster.network.deliver_all():
+        pass
+
+    if not all_keys:
+        empty = np.empty(0, dtype=np.int64)
+        return TrackingTable(empty, empty, empty.astype(float), empty.astype(float), empty, empty)
+
+    keys = np.concatenate(all_keys)
+    nodes = np.concatenate(all_nodes)
+    size_r = np.concatenate(all_sizes["R"])
+    size_s = np.concatenate(all_sizes["S"])
+
+    # Merge R and S entries of the same (key, node) into union rows.
+    order = np.lexsort((nodes, keys))
+    keys, nodes, size_r, size_s = keys[order], nodes[order], size_r[order], size_s[order]
+    is_new = np.empty(len(keys), dtype=bool)
+    is_new[0] = True
+    np.logical_or(keys[1:] != keys[:-1], nodes[1:] != nodes[:-1], out=is_new[1:])
+    starts = np.flatnonzero(is_new)
+    merged_keys = keys[starts]
+    merged_nodes = nodes[starts]
+    merged_r = np.add.reduceat(size_r, starts)
+    merged_s = np.add.reduceat(size_s, starts)
+
+    key_starts = segment_boundaries(merged_keys)
+    t_nodes = hash_partition(merged_keys[key_starts], num_nodes, spec.hash_seed)
+
+    # Receiving T nodes merge the incoming sorted (key, count) streams.
+    entry_bytes = key_width + spec.count_width_r  # footprint per union entry
+    per_tnode = np.bincount(
+        np.repeat(t_nodes, np.diff(np.append(key_starts, len(merged_keys)))),
+        weights=np.full(len(merged_keys), entry_bytes),
+        minlength=num_nodes,
+    )
+    profile.add_cpu("Merge recv. key, count", "merge", per_tnode)
+
+    return TrackingTable(
+        keys=merged_keys,
+        nodes=merged_nodes,
+        size_r=merged_r,
+        size_s=merged_s,
+        key_starts=key_starts,
+        t_nodes=t_nodes,
+    )

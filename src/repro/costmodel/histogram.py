@@ -1,0 +1,164 @@
+"""Equi-depth key histograms: catalog statistics without full scans.
+
+The query executor can measure join statistics exactly, but a real
+optimizer works from catalog synopses.  This module provides the
+classic equi-depth histogram over join keys plus a distinct-count
+estimator (a register-based cardinality sketch in the
+Flajolet-Martin/HyperLogLog family), and derives
+:class:`~repro.costmodel.stats.JoinStats` for two histogrammed tables —
+including overlap-based selectivity estimates — so
+:func:`~repro.costmodel.optimizer.choose_algorithm` can run from
+synopses alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CostModelError
+from ..storage.table import DistributedTable
+from ..util import mix64
+from .stats import JoinStats
+
+__all__ = ["KeyHistogram", "estimate_distinct", "stats_from_histograms"]
+
+
+def estimate_distinct(keys: np.ndarray, num_registers: int = 1024) -> float:
+    """Estimate the number of distinct keys with an HLL-style sketch.
+
+    Hashes keys into ``num_registers`` registers keeping each register's
+    maximum leading-zero count, then applies the standard harmonic-mean
+    estimator with the small-range (linear counting) correction.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if len(keys) == 0:
+        return 0.0
+    if num_registers < 16 or num_registers & (num_registers - 1):
+        raise CostModelError(
+            f"register count must be a power of two >= 16, got {num_registers}"
+        )
+    register_bits = int(num_registers).bit_length() - 1
+    window = 64 - register_bits  # bits left for the rank estimate
+    hashes = mix64(keys, seed=0x41D)
+    registers = (hashes & np.uint64(num_registers - 1)).astype(np.int64)
+    remaining = (hashes >> np.uint64(register_bits)).astype(np.uint64)
+    # rho = leading zeros of the window + 1 (rank of the first set bit).
+    bit_length = np.where(
+        remaining > 0,
+        np.floor(np.log2(np.maximum(remaining, 1).astype(np.float64))) + 1,
+        0,
+    )
+    rho = (window - bit_length + 1).astype(np.int64)
+    max_rho = np.zeros(num_registers, dtype=np.int64)
+    np.maximum.at(max_rho, registers, rho)
+    alpha = 0.7213 / (1 + 1.079 / num_registers)
+    estimate = alpha * num_registers**2 / np.sum(2.0 ** (-max_rho.astype(np.float64)))
+    zero_registers = int((max_rho == 0).sum())
+    if estimate <= 2.5 * num_registers and zero_registers > 0:
+        # Linear counting for small cardinalities.
+        estimate = num_registers * np.log(num_registers / zero_registers)
+    return float(estimate)
+
+
+@dataclass
+class KeyHistogram:
+    """Equi-depth histogram of one table's join keys.
+
+    Attributes
+    ----------
+    boundaries:
+        ``num_buckets + 1`` key values; bucket ``i`` covers
+        ``[boundaries[i], boundaries[i+1])`` (last bucket inclusive).
+    counts:
+        Rows per bucket (roughly equal by construction).
+    distinct:
+        Sketch-estimated distinct keys of the whole column.
+    total:
+        Total rows histogrammed.
+    """
+
+    boundaries: np.ndarray
+    counts: np.ndarray
+    distinct: float
+    total: int
+
+    @classmethod
+    def build(cls, keys: np.ndarray, num_buckets: int = 32) -> "KeyHistogram":
+        """Build from a key column (one pass + sort of a sample)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if num_buckets < 1:
+            raise CostModelError(f"need at least one bucket, got {num_buckets}")
+        if len(keys) == 0:
+            return cls(
+                boundaries=np.array([0, 0], dtype=np.int64),
+                counts=np.zeros(1, dtype=np.int64),
+                distinct=0.0,
+                total=0,
+            )
+        quantiles = np.quantile(keys, np.linspace(0, 1, num_buckets + 1))
+        boundaries = np.unique(quantiles.astype(np.int64))
+        if len(boundaries) < 2:
+            boundaries = np.array([boundaries[0], boundaries[0] + 1], dtype=np.int64)
+        # Right-exclusive buckets, with the last stretched one unit so
+        # the maximum key lands inside it.
+        bins = boundaries.astype(np.float64)
+        bins[-1] = boundaries[-1] + 1
+        counts, _ = np.histogram(keys, bins=bins)
+        return cls(
+            boundaries=boundaries,
+            counts=counts.astype(np.int64),
+            distinct=estimate_distinct(keys),
+            total=len(keys),
+        )
+
+    @classmethod
+    def of_table(cls, table: DistributedTable, num_buckets: int = 32) -> "KeyHistogram":
+        """Histogram a distributed table's key column."""
+        return cls.build(table.all_keys(), num_buckets)
+
+    def overlap_fraction(self, other: "KeyHistogram") -> float:
+        """Fraction of this histogram's rows in ``other``'s key range.
+
+        A coarse containment estimate: rows in buckets intersecting the
+        other histogram's [min, max] range, weighted by the intersected
+        share of each bucket's width.
+        """
+        if self.total == 0 or other.total == 0:
+            return 0.0
+        lo = float(other.boundaries[0])
+        hi = float(other.boundaries[-1])
+        fraction = 0.0
+        for i in range(len(self.counts)):
+            left = float(self.boundaries[i])
+            right = float(self.boundaries[i + 1])
+            width = max(right - left, 1.0)
+            inter = max(0.0, min(right, hi + 1) - max(left, lo))
+            fraction += (self.counts[i] / self.total) * min(1.0, inter / width)
+        return min(1.0, fraction)
+
+
+def stats_from_histograms(
+    hist_r: KeyHistogram,
+    hist_s: KeyHistogram,
+    num_nodes: int,
+    key_width: float,
+    payload_r: float,
+    payload_s: float,
+    location_width: float = 1.0,
+) -> JoinStats:
+    """Derive optimizer statistics from two key histograms."""
+    return JoinStats(
+        num_nodes=num_nodes,
+        tuples_r=max(1.0, float(hist_r.total)),
+        tuples_s=max(1.0, float(hist_s.total)),
+        distinct_r=float(np.clip(hist_r.distinct, 1.0, max(1, hist_r.total))),
+        distinct_s=float(np.clip(hist_s.distinct, 1.0, max(1, hist_s.total))),
+        key_width=key_width,
+        payload_r=payload_r,
+        payload_s=payload_s,
+        selectivity_r=hist_r.overlap_fraction(hist_s),
+        selectivity_s=hist_s.overlap_fraction(hist_r),
+        location_width=location_width,
+    )

@@ -1,0 +1,28 @@
+"""Value encodings: wire-width accounting plus real array codecs.
+
+The three schemes evaluated in Figures 7-8 (:class:`FixedByteEncoding`,
+:class:`VarByteEncoding`, :class:`DictionaryEncoding`) plus the Section
+2.4 traffic-compression techniques (:class:`DeltaEncoding`, radix-prefix
+grouping).
+"""
+
+from .base import Encoding
+from .delta import DeltaEncoding, delta_encoded_size
+from .dictionary import DictionaryEncoding, min_bits, pack_bits, unpack_bits
+from .fixed import FixedByteEncoding
+from .prefix import PrefixCodec, prefix_partitioned_size
+from .varbyte import VarByteEncoding
+
+__all__ = [
+    "Encoding",
+    "FixedByteEncoding",
+    "VarByteEncoding",
+    "DictionaryEncoding",
+    "DeltaEncoding",
+    "PrefixCodec",
+    "min_bits",
+    "pack_bits",
+    "unpack_bits",
+    "delta_encoded_size",
+    "prefix_partitioned_size",
+]

@@ -1,0 +1,82 @@
+"""Minimum-bit dictionary encoding.
+
+The paper's best-compressed results (Figure 9) re-encode every column of
+the intermediate relation with a dictionary using "the minimum number of
+bits required to encode the distinct values".  Width accounting therefore
+charges ``bits / 8`` bytes per value — fractional widths are intentional
+and match the paper's bit-level totals (e.g. 79-bit R tuples for Q1).
+
+The array codec builds a real sorted dictionary over the input, packs the
+indexes at the minimal bit width, and restores original values exactly on
+decode.  Dictionary *dereference* traffic is omitted, as in the paper
+("the join can proceed solely on compressed data").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..storage.schema import Column
+from .base import Encoding
+
+__all__ = ["DictionaryEncoding", "min_bits", "pack_bits", "unpack_bits"]
+
+
+def min_bits(distinct_values: int) -> int:
+    """Bits needed to index ``distinct_values`` dictionary entries."""
+    if distinct_values <= 1:
+        return 1
+    return math.ceil(math.log2(distinct_values))
+
+
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Pack non-negative integers below ``2**bits`` into a dense bitstream."""
+    if bits <= 0 or bits > 64:
+        raise ValueError(f"bit width out of range: {bits}")
+    if len(values) == 0:
+        return b""
+    as_bits = (
+        (values[:, None].astype(np.uint64) >> np.arange(bits, dtype=np.uint64)) & np.uint64(1)
+    ).astype(np.uint8)
+    return np.packbits(as_bits.reshape(-1), bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    raw = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    raw = raw[: count * bits].reshape(count, bits).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+    return (raw * weights).sum(axis=1).astype(np.int64)
+
+
+class DictionaryEncoding(Encoding):
+    """Minimum-bit dictionary codes (optimal compression of Figure 9)."""
+
+    name = "dictionary"
+
+    def column_width_bytes(self, column: Column) -> float:
+        if column.is_char:
+            # Character columns are dictionary-coded too when bits are
+            # declared; otherwise they stay raw.
+            return float(column.char_length)
+        return column.bits / 8.0
+
+    def encode(self, values: np.ndarray) -> bytes:
+        dictionary, indexes = np.unique(values, return_inverse=True)
+        bits = min_bits(len(dictionary))
+        header = np.array([len(dictionary), bits, len(values)], dtype=np.int64).tobytes()
+        return header + dictionary.astype(np.int64).tobytes() + pack_bits(indexes, bits)
+
+    def decode(self, data: bytes, count: int) -> np.ndarray:
+        dict_size, bits, stored = np.frombuffer(data, dtype=np.int64, count=3)
+        if stored != count:
+            raise ValueError(f"stream holds {stored} values, caller expected {count}")
+        offset = 3 * 8
+        dictionary = np.frombuffer(data, dtype=np.int64, count=int(dict_size), offset=offset)
+        offset += int(dict_size) * 8
+        indexes = unpack_bits(data[offset:], int(bits), count)
+        return dictionary[indexes]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the track join reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is invalid or inconsistent with the data."""
+
+
+class PlacementError(ReproError):
+    """A tuple placement request cannot be satisfied."""
+
+
+class NetworkError(ReproError):
+    """A message was sent to an invalid node or with invalid accounting."""
+
+
+class JoinConfigError(ReproError):
+    """A distributed join was configured with incompatible inputs."""
+
+
+class ScheduleError(ReproError):
+    """Per-key schedule generation received malformed tracking input."""
+
+
+class CostModelError(ReproError):
+    """The analytic cost model was queried with inconsistent statistics."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for an unsatisfiable configuration."""

@@ -1,0 +1,16 @@
+"""One registered experiment per table and figure of the paper."""
+
+from .report import ExperimentResult, Group, Row, render, render_bars, to_dict
+from .runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "ExperimentResult",
+    "Group",
+    "Row",
+    "render",
+    "render_bars",
+    "to_dict",
+]

@@ -1,0 +1,52 @@
+"""Generate the paper-vs-measured section of ``EXPERIMENTS.md``.
+
+``EXPERIMENTS.md`` embeds the full text reports of every registered
+experiment.  This module regenerates that block so the document stays
+reproducible::
+
+    python -c "from repro.experiments.markdown import write_reports; write_reports('reports.txt')"
+
+The benchmark-scale parameters used for the committed document are
+recorded here as :data:`DOCUMENT_PARAMS`.
+"""
+
+from __future__ import annotations
+
+from .report import render
+from .runner import EXPERIMENTS
+
+__all__ = ["DOCUMENT_PARAMS", "generate_reports", "write_reports"]
+
+#: Per-experiment parameters used for the committed EXPERIMENTS.md
+#: (matching the benchmark defaults).
+DOCUMENT_PARAMS: dict[str, dict] = {
+    "fig3": {"scaled_tuples": 250_000},
+    "fig4": {"scaled_keys": 100_000},
+    "fig5": {"scaled_keys": 40_000},
+    "fig6": {"scaled_keys": 40_000},
+    "fig7": {"scale_denominator": 1024},
+    "fig8": {"scale_denominator": 1024},
+    "fig9": {"scale_denominator": 1024},
+    "fig10": {"scale_denominator": 256},
+    "fig11": {"scale_denominator": 256},
+    "table1": {"scale_denominator": 512},
+    "table2": {"scale_x": 1024, "scale_y": 256},
+    "table3": {"scale_x": 1024, "scale_y": 256},
+    "table4": {"scale_x": 1024, "scale_y": 256},
+}
+
+
+def generate_reports(params: dict[str, dict] | None = None) -> str:
+    """Run every experiment and concatenate the rendered reports."""
+    params = DOCUMENT_PARAMS if params is None else params
+    blocks = []
+    for experiment_id, runner in EXPERIMENTS.items():
+        result = runner(**params.get(experiment_id, {}))
+        blocks.append(render(result))
+    return "\n\n".join(blocks) + "\n"
+
+
+def write_reports(path: str, params: dict[str, dict] | None = None) -> None:
+    """Write the concatenated reports to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(generate_reports(params))

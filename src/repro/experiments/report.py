@@ -1,0 +1,175 @@
+"""Result containers and plain-text rendering for experiment runs.
+
+Every experiment produces an :class:`ExperimentResult`: groups of rows,
+each row holding a measured value and (when the paper prints one) the
+published value.  :func:`render` turns it into an aligned text table the
+benchmarks print, so ``pytest benchmarks/ --benchmark-only`` regenerates
+the paper's tables and figures as readable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Row", "Group", "ExperimentResult", "render", "render_bars", "to_dict"]
+
+
+@dataclass
+class Row:
+    """One measured series entry (one bar of a figure, one table cell)."""
+
+    label: str
+    measured: float
+    paper: float | None = None
+    #: Optional stacked-bar breakdown (message class -> value).
+    breakdown: dict[str, float] | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / paper, when the paper value exists and is nonzero."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class Group:
+    """A labelled group of rows (one panel of a figure, one table block)."""
+
+    label: str
+    rows: list[Row] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment reproduced."""
+
+    experiment_id: str
+    title: str
+    unit: str
+    groups: list[Group] = field(default_factory=list)
+    notes: str = ""
+
+    def row(self, group_label: str, row_label: str) -> Row:
+        """Look up one row (test helper)."""
+        for group in self.groups:
+            if group.label == group_label:
+                for row in group.rows:
+                    if row.label == row_label:
+                        return row
+        raise KeyError(f"{self.experiment_id}: no row {group_label!r}/{row_label!r}")
+
+    def measured(self, group_label: str, row_label: str) -> float:
+        """Measured value of one row (test helper)."""
+        return self.row(group_label, row_label).measured
+
+
+def _format_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def render(result: ExperimentResult) -> str:
+    """Render an experiment result as an aligned text report."""
+    lines = [
+        f"== {result.experiment_id}: {result.title} (unit: {result.unit}) ==",
+    ]
+    if result.notes:
+        lines.append(result.notes)
+    label_width = max(
+        [len(row.label) for group in result.groups for row in group.rows] + [8]
+    )
+    for group in result.groups:
+        lines.append(f"-- {group.label} --")
+        header = f"  {'series':<{label_width}} {'measured':>12} {'paper':>12} {'ratio':>7}"
+        lines.append(header)
+        for row in group.rows:
+            ratio = row.ratio
+            lines.append(
+                f"  {row.label:<{label_width}} "
+                f"{_format_value(row.measured):>12} "
+                f"{_format_value(row.paper):>12} "
+                f"{(f'{ratio:.2f}' if ratio is not None else '-'):>7}"
+            )
+            if row.breakdown:
+                parts = ", ".join(
+                    f"{k}={_format_value(v)}" for k, v in row.breakdown.items() if v
+                )
+                lines.append(f"  {'':<{label_width}}   [{parts}]")
+    return "\n".join(lines)
+
+
+_BAR_GLYPHS = ("#", "=", ":", ".", "+", "~")
+
+
+def render_bars(result: ExperimentResult, width: int = 60) -> str:
+    """Render an experiment as ASCII stacked bars (one per row).
+
+    Each row becomes a horizontal bar scaled to the largest on-chart
+    measurement in its group; breakdown components get distinct glyphs
+    in legend order, mirroring the paper's stacked bar charts.
+    """
+    lines = [f"== {result.experiment_id}: {result.title} (unit: {result.unit}) =="]
+    for group in result.groups:
+        lines.append(f"-- {group.label} --")
+        measured = [row.measured for row in group.rows if row.measured > 0]
+        if not measured:
+            continue
+        scale = width / max(measured)
+        label_width = max(len(row.label) for row in group.rows)
+        legend: dict[str, str] = {}
+        for row in group.rows:
+            if row.breakdown:
+                segments = []
+                for index, (name, value) in enumerate(row.breakdown.items()):
+                    glyph = _BAR_GLYPHS[index % len(_BAR_GLYPHS)]
+                    legend.setdefault(name, glyph)
+                    segments.append(glyph * int(round(value * scale)))
+                bar = "".join(segments)[: width * 2]
+            else:
+                bar = "#" * int(round(row.measured * scale))
+            lines.append(
+                f"  {row.label:<{label_width}} |{bar} {_format_value(row.measured)}"
+            )
+        if legend:
+            lines.append(
+                "  legend: " + ", ".join(f"{g}={n}" for n, g in legend.items())
+            )
+    return "\n".join(lines)
+
+
+def to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable form of an experiment result.
+
+    Useful for exporting measurements to external plotting tools; the
+    inverse of nothing — reports are write-only artifacts.
+    """
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "unit": result.unit,
+        "notes": result.notes,
+        "groups": [
+            {
+                "label": group.label,
+                "rows": [
+                    {
+                        "label": row.label,
+                        "measured": row.measured,
+                        "paper": row.paper,
+                        "ratio": row.ratio,
+                        "breakdown": row.breakdown,
+                    }
+                    for row in group.rows
+                ],
+            }
+            for group in result.groups
+        ],
+    }

@@ -1,0 +1,66 @@
+"""Experiment registry: every paper table and figure by id.
+
+``EXPERIMENTS`` maps an experiment id ("fig3", "table2", ...) to the
+callable that reproduces it.  :func:`run_experiment` executes one and
+:func:`run_all` sweeps the registry — which is exactly what
+``EXPERIMENTS.md`` is generated from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .figures import (
+    run_fig1_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+from .report import ExperimentResult, render
+from .tables import run_table1, run_table2, run_table3, run_table4
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1-fig2": run_fig1_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](**kwargs)
+
+
+def run_all(verbose: bool = True) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; print reports when verbose."""
+    results = {}
+    for experiment_id in EXPERIMENTS:
+        result = run_experiment(experiment_id)
+        results[experiment_id] = result
+        if verbose:
+            print(render(result))
+            print()
+    return results

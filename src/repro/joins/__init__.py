@@ -1,0 +1,24 @@
+"""Distributed join operators: baselines and shared infrastructure."""
+
+from .base import DistributedJoin, JoinResult, JoinSpec
+from .broadcast import BroadcastJoin
+from .grace_hash import GraceHashJoin
+from .local import distinct_with_counts, join_indices, local_join, match_mask
+from .semijoin import SemiJoinFilteredJoin
+from .tracking_aware import LateMaterializationHashJoin, TrackingAwareHashJoin, rid_width
+
+__all__ = [
+    "DistributedJoin",
+    "JoinResult",
+    "JoinSpec",
+    "BroadcastJoin",
+    "GraceHashJoin",
+    "SemiJoinFilteredJoin",
+    "LateMaterializationHashJoin",
+    "TrackingAwareHashJoin",
+    "rid_width",
+    "join_indices",
+    "local_join",
+    "distinct_with_counts",
+    "match_mask",
+]

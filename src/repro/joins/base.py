@@ -1,0 +1,209 @@
+"""Distributed join interface: configuration, results, shared machinery.
+
+Every algorithm (broadcast, Grace hash, tracking-aware hash, and the
+three track join variants) implements :class:`DistributedJoin` and
+returns a :class:`JoinResult` carrying the materialized output, the
+byte-exact traffic ledger, and the execution profile used by the timing
+model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass, TrafficLedger
+from ..encoding.base import Encoding
+from ..encoding.dictionary import DictionaryEncoding
+from ..errors import JoinConfigError
+from ..storage.table import DistributedTable, LocalPartition
+from ..timing.profile import ExecutionProfile
+
+__all__ = ["JoinSpec", "JoinResult", "DistributedJoin"]
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Tunable parameters shared by all distributed joins.
+
+    Parameters
+    ----------
+    encoding:
+        Wire encoding used for every column (Figures 7-8 sweep this).
+    location_width:
+        ``M`` of the paper: bytes of a node identifier inside location
+        and migration messages.  1 byte suffices for up to 256 nodes.
+    count_width_r / count_width_s:
+        Bytes of the per-node match counters carried by 3/4-phase
+        tracking messages (the paper uses 1 byte for workload X, 2 for
+        Y; counts that overflow are aggregated at the destination).
+    hash_seed:
+        Seed of the key-hash that places scheduling/hash-join work.
+    materialize:
+        When False, joins compute output cardinality but skip building
+        output payload arrays (large-scale traffic runs).
+    group_locations:
+        Section 2.4 optimization: batch location messages by node so
+        the node id is amortized over many keys instead of repeated
+        per key.
+    delta_keys:
+        Section 2.4 optimization: account tracking key streams at their
+        sorted-delta-varint size instead of the plain key width.
+    """
+
+    encoding: Encoding = field(default_factory=DictionaryEncoding)
+    location_width: float = 1.0
+    count_width_r: float = 1.0
+    count_width_s: float = 1.0
+    hash_seed: int = 0
+    materialize: bool = True
+    group_locations: bool = False
+    delta_keys: bool = False
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one distributed join execution."""
+
+    algorithm: str
+    output_rows: int
+    output: list[LocalPartition] | None
+    traffic: TrafficLedger
+    profile: ExecutionProfile
+
+    @property
+    def network_bytes(self) -> float:
+        """Total bytes that crossed the network."""
+        return self.traffic.total_bytes
+
+    def class_bytes(self, category: MessageClass) -> float:
+        """Bytes of one message class (for stacked-bar reproductions)."""
+        return self.traffic.class_bytes(category)
+
+    def breakdown(self) -> dict[str, float]:
+        """Traffic by message class, keyed by class value."""
+        return self.traffic.breakdown()
+
+    def network_gb(self, scale: float = 1.0) -> float:
+        """Traffic in GB, optionally scaled up to paper-size cardinality."""
+        return self.network_bytes * scale / 1e9
+
+    def node_balance(self) -> dict[str, float]:
+        """Send/receive imbalance diagnostics (Section 5 future work)."""
+        sent = self.traffic.sent_by_node
+        received = self.traffic.received_by_node
+        max_sent = max(sent.values(), default=0.0)
+        mean_sent = (sum(sent.values()) / len(sent)) if sent else 0.0
+        max_recv = max(received.values(), default=0.0)
+        mean_recv = (sum(received.values()) / len(received)) if received else 0.0
+        return {
+            "max_sent": max_sent,
+            "mean_sent": mean_sent,
+            "send_skew": (max_sent / mean_sent) if mean_sent else 1.0,
+            "max_received": max_recv,
+            "mean_received": mean_recv,
+            "receive_skew": (max_recv / mean_recv) if mean_recv else 1.0,
+        }
+
+    def gathered_output(self) -> LocalPartition:
+        """All output rows as one partition (verification aid)."""
+        if self.output is None:
+            raise JoinConfigError(
+                f"{self.algorithm} ran with materialize=False; no output rows kept"
+            )
+        return LocalPartition.concat(self.output)
+
+
+class DistributedJoin(abc.ABC):
+    """Base class of all distributed equi-join operators."""
+
+    #: Short identifier used in reports ("HJ", "2TJ-R", "4TJ", ...).
+    name: str = "abstract"
+
+    def run(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec | None = None,
+    ) -> JoinResult:
+        """Execute the join on ``cluster`` and return its result.
+
+        The cluster's scratch state and traffic ledger are reset first,
+        so the returned ledger contains exactly this join's traffic.
+        """
+        spec = spec or JoinSpec()
+        cluster.check_table(table_r)
+        cluster.check_table(table_s)
+        cluster.reset()
+        profile = ExecutionProfile(cluster.num_nodes)
+        output = self._execute(cluster, table_r, table_s, spec, profile)
+        if cluster.network.pending_messages():
+            raise JoinConfigError(
+                f"{self.name}: {cluster.network.pending_messages()} messages "
+                "left undelivered after the join"
+            )
+        output_rows = sum(p.num_rows for p in output)
+        return JoinResult(
+            algorithm=self.name,
+            output_rows=output_rows,
+            output=output if spec.materialize else None,
+            traffic=cluster.network.reset_ledger(),
+            profile=profile,
+        )
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        """Algorithm body; returns per-node output partitions.
+
+        When ``spec.materialize`` is False implementations may return
+        key-only partitions (payload columns dropped) — the row counts
+        are still exact.
+        """
+
+    # -- shared helpers -------------------------------------------------
+
+    @staticmethod
+    def _send_rows(
+        cluster: Cluster,
+        profile: ExecutionProfile,
+        step_name: str,
+        category: MessageClass,
+        src: int,
+        dst: int,
+        rows: LocalPartition,
+        tuple_width: float,
+    ) -> None:
+        """Ship a batch of tuples, accounting wire size and profile work."""
+        nbytes = rows.num_rows * tuple_width
+        cluster.network.send(src, dst, category, nbytes, payload=rows)
+        if src == dst:
+            profile.add_local(f"Local copy {step_name}", src, nbytes)
+        else:
+            profile.add_net_at(f"Transfer {step_name}", src, nbytes)
+
+    @staticmethod
+    def _received_rows(
+        cluster: Cluster, dst: int, category: MessageClass
+    ) -> list[LocalPartition]:
+        """Drain node ``dst``'s inbox, keeping payloads of one category."""
+        kept = []
+        requeue = []
+        for msg in cluster.network.deliver(dst):
+            if msg.category == category:
+                kept.append(msg.payload)
+            else:
+                requeue.append(msg)
+        for msg in requeue:  # pragma: no cover - joins drain homogeneously
+            cluster.network._inboxes[dst].append(msg)
+        return kept

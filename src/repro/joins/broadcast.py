@@ -1,0 +1,79 @@
+"""Broadcast join: replicate one table to every node.
+
+The cheapest plan when one input is tiny, and one of the seven
+algorithms compared throughout the paper's Figures 3-11 (``BJ-R``
+broadcasts table R, ``BJ-S`` broadcasts S).  Every node ships its local
+fragment of the broadcast side to all other nodes and then joins the
+full broadcast table against its local fragment of the other side.
+"""
+
+from __future__ import annotations
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass
+from ..storage.table import DistributedTable, LocalPartition
+from ..timing.profile import ExecutionProfile
+from .base import DistributedJoin, JoinSpec
+from .local import local_join
+
+__all__ = ["BroadcastJoin"]
+
+
+class BroadcastJoin(DistributedJoin):
+    """Broadcast R to all S locations, or S to all R locations."""
+
+    def __init__(self, broadcast: str = "R"):
+        if broadcast not in ("R", "S"):
+            raise ValueError(f"broadcast side must be 'R' or 'S', got {broadcast!r}")
+        self.broadcast = broadcast
+        self.name = f"BJ-{broadcast}"
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        if self.broadcast == "R":
+            moving, staying = table_r, table_s
+            category = MessageClass.R_TUPLES
+            step = "R tuples"
+        else:
+            moving, staying = table_s, table_r
+            category = MessageClass.S_TUPLES
+            step = "S tuples"
+        width = moving.schema.tuple_width(spec.encoding)
+
+        for src in range(cluster.num_nodes):
+            fragment = moving.partitions[src]
+            profile.add_cpu_at(
+                f"Scan local {step}", "partition", src, fragment.num_rows * width
+            )
+            for dst in range(cluster.num_nodes):
+                if dst == src:
+                    continue
+                self._send_rows(
+                    cluster, profile, step, category, src, dst, fragment, width
+                )
+
+        output: list[LocalPartition] = []
+        for node in range(cluster.num_nodes):
+            received = self._received_rows(cluster, node, category)
+            full_moving = LocalPartition.concat([moving.partitions[node]] + received)
+            local = staying.partitions[node]
+            if self.broadcast == "R":
+                joined = local_join(full_moving, local, "r.", "s.")
+            else:
+                joined = local_join(local, full_moving, "r.", "s.")
+            in_bytes = full_moving.num_rows * width + local.num_rows * staying.schema.tuple_width(spec.encoding)
+            out_bytes = joined.num_rows * (
+                table_r.schema.tuple_width(spec.encoding)
+                + table_s.schema.payload_width(spec.encoding)
+            )
+            profile.add_cpu_at("Final merge-join", "merge", node, in_bytes + out_bytes)
+            if not spec.materialize:
+                joined = LocalPartition(keys=joined.keys)
+            output.append(joined)
+        return output

@@ -1,0 +1,112 @@
+"""Grace hash join over the network: the paper's baseline.
+
+Both tables are hash-partitioned on the join key across the ``N`` nodes
+(the Grace/Gamma scheme [9, 17] applied to a network instead of disks).
+Each tuple crosses the network unless its key happens to hash to the
+node it already lives on (probability ``1/N``), so the algorithm moves
+almost the full size of both tables — the inefficiency track join
+attacks.
+
+The step structure mirrors Table 3 of the paper: hash-partition R and S,
+transfer the fragments, sort the received runs, and merge-join locally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass
+from ..storage.table import DistributedTable, LocalPartition
+from ..timing.profile import ExecutionProfile
+from ..util import hash_partition
+from .base import DistributedJoin, JoinSpec
+from .local import local_join
+
+__all__ = ["GraceHashJoin"]
+
+
+class GraceHashJoin(DistributedJoin):
+    """Distributed hash join (hash-partition both inputs, join locally)."""
+
+    name = "HJ"
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        received_r = self._repartition(
+            cluster, table_r, spec, profile, MessageClass.R_TUPLES, "R tuples"
+        )
+        received_s = self._repartition(
+            cluster, table_s, spec, profile, MessageClass.S_TUPLES, "S tuples"
+        )
+
+        width_r = table_r.schema.tuple_width(spec.encoding)
+        width_s = table_s.schema.tuple_width(spec.encoding)
+        out_width = width_r + table_s.schema.payload_width(spec.encoding)
+        output: list[LocalPartition] = []
+        for node in range(cluster.num_nodes):
+            part_r = received_r[node]
+            part_s = received_s[node]
+            profile.add_cpu_at(
+                "Sort received R tuples", "sort", node, part_r.num_rows * width_r
+            )
+            profile.add_cpu_at(
+                "Sort received S tuples", "sort", node, part_s.num_rows * width_s
+            )
+            joined = local_join(part_r, part_s, "r.", "s.")
+            profile.add_cpu_at(
+                "Final merge-join",
+                "merge",
+                node,
+                part_r.num_rows * width_r
+                + part_s.num_rows * width_s
+                + joined.num_rows * out_width,
+            )
+            if not spec.materialize:
+                joined = LocalPartition(keys=joined.keys)
+            output.append(joined)
+        return output
+
+    def _repartition(
+        self,
+        cluster: Cluster,
+        table: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+        category: MessageClass,
+        step: str,
+    ) -> list[LocalPartition]:
+        """Hash-partition one table; returns the received fragments per node."""
+        width = table.schema.tuple_width(spec.encoding)
+        for src in range(cluster.num_nodes):
+            fragment = table.partitions[src]
+            profile.add_cpu_at(
+                f"Hash partition {step}", "partition", src, fragment.num_rows * width
+            )
+            destinations = hash_partition(fragment.keys, cluster.num_nodes, spec.hash_seed)
+            order = np.argsort(destinations, kind="stable")
+            boundaries = np.searchsorted(
+                destinations[order], np.arange(cluster.num_nodes + 1)
+            )
+            for dst in range(cluster.num_nodes):
+                rows = order[boundaries[dst] : boundaries[dst + 1]]
+                if len(rows) == 0:
+                    continue
+                self._send_rows(
+                    cluster, profile, step, category, src, dst, fragment.take(rows), width
+                )
+        received = []
+        for node in range(cluster.num_nodes):
+            parts = self._received_rows(cluster, node, category)
+            received.append(
+                LocalPartition.concat(parts)
+                if parts
+                else LocalPartition.empty(table.payload_names)
+            )
+        return received

@@ -1,0 +1,105 @@
+"""Node-local join kernels.
+
+Every distributed algorithm in the library ends with (or is built from)
+node-local equi-joins between key arrays.  The kernel here is a
+vectorized sort/merge join with full cartesian expansion per key — the
+same local strategy as the paper's implementation, which uses MSB radix
+sort followed by merge-join for all local joins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import LocalPartition
+
+__all__ = ["join_indices", "local_join", "distinct_with_counts", "match_mask"]
+
+
+def join_indices(keys_left: np.ndarray, keys_right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(i, j)`` with ``keys_left[i] == keys_right[j]``.
+
+    Implements the cartesian product per key: a key appearing ``a`` times
+    on the left and ``b`` times on the right yields ``a*b`` pairs, which
+    is the semantics of the general equi-join the paper targets (no
+    foreign-key assumptions).
+
+    Returns
+    -------
+    (left_idx, right_idx)
+        Parallel ``int64`` arrays; ``len`` equals the join output size.
+    """
+    keys_left = np.asarray(keys_left, dtype=np.int64)
+    keys_right = np.asarray(keys_right, dtype=np.int64)
+    if len(keys_left) == 0 or len(keys_right) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order_right = np.argsort(keys_right, kind="stable")
+    sorted_right = keys_right[order_right]
+    lo = np.searchsorted(sorted_right, keys_left, side="left")
+    hi = np.searchsorted(sorted_right, keys_left, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(len(keys_left), dtype=np.int64), counts)
+    run_starts = np.repeat(lo, counts)
+    # Offset of each output row inside its match run.
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    right_idx = order_right[run_starts + offsets]
+    return left_idx, right_idx
+
+
+def local_join(
+    left: LocalPartition,
+    right: LocalPartition,
+    left_prefix: str = "r.",
+    right_prefix: str = "s.",
+) -> LocalPartition:
+    """Materialized equi-join of two local partitions.
+
+    Output columns are the join key plus both sides' payload columns,
+    name-prefixed to avoid collisions.
+    """
+    left_idx, right_idx = join_indices(left.keys, right.keys)
+    columns: dict[str, np.ndarray] = {}
+    for name, values in left.columns.items():
+        columns[left_prefix + name] = values[left_idx]
+    for name, values in right.columns.items():
+        columns[right_prefix + name] = values[right_idx]
+    return LocalPartition(keys=left.keys[left_idx], columns=columns)
+
+
+def join_cardinality(keys_left: np.ndarray, keys_right: np.ndarray) -> int:
+    """Output size of the equi-join without materializing index pairs."""
+    keys_left = np.asarray(keys_left, dtype=np.int64)
+    keys_right = np.asarray(keys_right, dtype=np.int64)
+    if len(keys_left) == 0 or len(keys_right) == 0:
+        return 0
+    sorted_right = np.sort(keys_right)
+    lo = np.searchsorted(sorted_right, keys_left, side="left")
+    hi = np.searchsorted(sorted_right, keys_left, side="right")
+    return int((hi - lo).sum())
+
+
+def distinct_with_counts(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Distinct keys of a partition with their local repeat counts.
+
+    This is the tracking-phase projection: duplicates are redundant and
+    eliminated before keys are sent to the scheduling nodes.
+    """
+    return np.unique(np.asarray(keys, dtype=np.int64), return_counts=True)
+
+
+def match_mask(keys: np.ndarray, probe: np.ndarray) -> np.ndarray:
+    """Boolean mask of ``keys`` entries that appear in ``probe``."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if len(probe) == 0:
+        return np.zeros(len(keys), dtype=bool)
+    sorted_probe = np.sort(np.asarray(probe, dtype=np.int64))
+    positions = np.searchsorted(sorted_probe, keys, side="left")
+    positions = np.minimum(positions, len(sorted_probe) - 1)
+    return sorted_probe[positions] == keys

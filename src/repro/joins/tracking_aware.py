@@ -1,0 +1,329 @@
+"""Rid-based hash joins: late materialization and the tracking-aware variant.
+
+Section 3.2 compares track join against hash joins that defer payload
+access by carrying record identifiers (rids):
+
+* :class:`LateMaterializationHashJoin` — keys are hashed with implicit
+  rids, the join happens at the hash nodes, and payloads are fetched at
+  output cardinality (cost ``(tR+tS)*wk + tRS*(wR+wS+log tR+log tS)``).
+
+* :class:`TrackingAwareHashJoin` — the rid's node component is used as
+  free tracking information: the joined result migrates to the location
+  of the wider-payload tuple and only the narrower payload crosses the
+  network (cost ``(tR+tS)*wk + tRS*(min(wR,wS)+wk+log tR+log tS)``).
+
+The paper proves 2-phase track join subsumes the tracking-aware variant
+(it deduplicates keys during tracking and resends keys, which compress
+better than rids); these operators exist so that claim is measurable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass
+from ..storage.table import DistributedTable, LocalPartition
+from ..timing.profile import ExecutionProfile
+from ..util import hash_partition
+from .base import DistributedJoin, JoinSpec
+from .local import join_indices
+
+__all__ = ["LateMaterializationHashJoin", "TrackingAwareHashJoin", "rid_width"]
+
+
+def rid_width(total_rows: int) -> float:
+    """Bytes of a local record identifier addressing ``total_rows``."""
+    return math.ceil(math.log2(max(2, total_rows)) / 8)
+
+
+def _scatter_keys(
+    cluster: Cluster,
+    table: DistributedTable,
+    spec: JoinSpec,
+    profile: ExecutionProfile,
+    side: str,
+) -> list[LocalPartition]:
+    """Hash-scatter (key, implicit rid) streams; returns per-node arrivals.
+
+    The returned partitions carry ``node``/``pos`` columns identifying
+    each tuple's origin, but only the key column is accounted on the
+    wire — rids are implicit in message origin and order.
+    """
+    key_width = table.schema.key_width(spec.encoding)
+    for src, partition in enumerate(table.partitions):
+        profile.add_cpu_at(
+            f"Hash partition {side} keys", "partition", src, partition.num_rows * key_width
+        )
+        if partition.num_rows == 0:
+            continue
+        destinations = hash_partition(partition.keys, cluster.num_nodes, spec.hash_seed)
+        order = np.argsort(destinations, kind="stable")
+        bounds = np.searchsorted(destinations[order], np.arange(cluster.num_nodes + 1))
+        for dst in range(cluster.num_nodes):
+            rows = order[bounds[dst] : bounds[dst + 1]]
+            if len(rows) == 0:
+                continue
+            payload = LocalPartition(
+                keys=partition.keys[rows],
+                columns={
+                    "node": np.full(len(rows), src, dtype=np.int64),
+                    "pos": rows.astype(np.int64),
+                },
+            )
+            nbytes = len(rows) * key_width
+            cluster.network.send(src, dst, MessageClass.RIDS, nbytes, payload=payload)
+            if src == dst:
+                profile.add_local(f"Local copy {side} keys", src, nbytes)
+            else:
+                profile.add_net_at(f"Transfer {side} keys", src, nbytes)
+    received = []
+    for node in range(cluster.num_nodes):
+        parts = [m.payload for m in cluster.network.deliver(node)]
+        received.append(
+            LocalPartition.concat(parts) if parts else LocalPartition.empty(("node", "pos"))
+        )
+    return received
+
+
+def _rid_pairs(
+    cluster: Cluster,
+    recv_r: list[LocalPartition],
+    recv_s: list[LocalPartition],
+    profile: ExecutionProfile,
+    key_width: float,
+) -> list[LocalPartition]:
+    """Join the scattered key streams at every hash node into rid pairs."""
+    pairs = []
+    for node in range(cluster.num_nodes):
+        r_part, s_part = recv_r[node], recv_s[node]
+        idx_r, idx_s = join_indices(r_part.keys, s_part.keys)
+        profile.add_cpu_at(
+            "Join keys into rid pairs",
+            "merge",
+            node,
+            (r_part.num_rows + s_part.num_rows + len(idx_r)) * key_width,
+        )
+        pairs.append(
+            LocalPartition(
+                keys=r_part.keys[idx_r],
+                columns={
+                    "r_node": r_part.columns["node"][idx_r],
+                    "r_pos": r_part.columns["pos"][idx_r],
+                    "s_node": s_part.columns["node"][idx_s],
+                    "s_pos": s_part.columns["pos"][idx_s],
+                },
+            )
+        )
+    return pairs
+
+
+class LateMaterializationHashJoin(DistributedJoin):
+    """Hash join on keys + rids, fetching payloads at output cardinality."""
+
+    name = "LMHJ"
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        recv_r = _scatter_keys(cluster, table_r, spec, profile, "R")
+        recv_s = _scatter_keys(cluster, table_s, spec, profile, "S")
+        key_width = table_r.schema.key_width(spec.encoding)
+        pairs = _rid_pairs(cluster, recv_r, recv_s, profile, key_width)
+
+        rid_r = rid_width(table_r.total_rows)
+        rid_s = rid_width(table_s.total_rows)
+        output = []
+        for node in range(cluster.num_nodes):
+            pair = pairs[node]
+            columns: dict[str, np.ndarray] = {}
+            for side, table, rid_bytes, category in (
+                ("r", table_r, rid_r, MessageClass.R_TUPLES),
+                ("s", table_s, rid_s, MessageClass.S_TUPLES),
+            ):
+                payload_width = table.schema.payload_width(spec.encoding)
+                origin = pair.columns[f"{side}_node"]
+                pos = pair.columns[f"{side}_pos"]
+                fetched = {
+                    name: np.empty(pair.num_rows, dtype=values.dtype)
+                    for name, values in table.partitions[0].columns.items()
+                }
+                for src in np.unique(origin):
+                    sel = np.flatnonzero(origin == src)
+                    # Fetch request: one rid per output tuple.
+                    cluster.network.send(
+                        node, int(src), MessageClass.RIDS, len(sel) * rid_bytes
+                    )
+                    # Response: the payload columns, in request order.
+                    cluster.network.send(
+                        int(src), node, category, len(sel) * payload_width
+                    )
+                    if int(src) != node:
+                        profile.add_net_at(
+                            f"Fetch {side.upper()} payloads",
+                            node,
+                            len(sel) * rid_bytes,
+                        )
+                        profile.add_net_at(
+                            f"Return {side.upper()} payloads",
+                            int(src),
+                            len(sel) * payload_width,
+                        )
+                    rows = table.partitions[int(src)].take(pos[sel])
+                    for name, values in rows.columns.items():
+                        fetched[name][sel] = values
+                for name, values in fetched.items():
+                    columns[f"{side}.{name}"] = values
+            for _n, _m in cluster.network.deliver_all():
+                pass
+            output.append(LocalPartition(keys=pair.keys, columns=columns))
+        return output
+
+
+class TrackingAwareHashJoin(DistributedJoin):
+    """Rid-based hash join exploiting the rid's implicit location (Sec 3.2).
+
+    The result migrates to the wider-payload tuple's node; only the
+    narrower payload (plus the key and rids) crosses the network.
+    """
+
+    name = "TAHJ"
+
+    def _execute(
+        self,
+        cluster: Cluster,
+        table_r: DistributedTable,
+        table_s: DistributedTable,
+        spec: JoinSpec,
+        profile: ExecutionProfile,
+    ) -> list[LocalPartition]:
+        recv_r = _scatter_keys(cluster, table_r, spec, profile, "R")
+        recv_s = _scatter_keys(cluster, table_s, spec, profile, "S")
+        key_width = table_r.schema.key_width(spec.encoding)
+        pairs = _rid_pairs(cluster, recv_r, recv_s, profile, key_width)
+
+        wide_is_r = table_r.schema.payload_width(spec.encoding) >= table_s.schema.payload_width(
+            spec.encoding
+        )
+        wide, narrow = ("r", "s") if wide_is_r else ("s", "r")
+        wide_table = table_r if wide_is_r else table_s
+        narrow_table = table_s if wide_is_r else table_r
+        rid_wide = rid_width(wide_table.total_rows)
+        rid_narrow = rid_width(narrow_table.total_rows)
+        narrow_width = key_width + narrow_table.schema.payload_width(spec.encoding)
+        narrow_category = (
+            MessageClass.S_TUPLES if wide_is_r else MessageClass.R_TUPLES
+        )
+
+        # Per (narrow rid, wide node) send-once bookkeeping, and per wide
+        # node the set of wide rids participating in the join.
+        send_jobs: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+        wide_rows: dict[int, list[np.ndarray]] = {}
+        for t_node in range(cluster.num_nodes):
+            pair = pairs[t_node]
+            if pair.num_rows == 0:
+                continue
+            n_node = pair.columns[f"{narrow}_node"]
+            n_pos = pair.columns[f"{narrow}_pos"]
+            w_node = pair.columns[f"{wide}_node"]
+            w_pos = pair.columns[f"{wide}_pos"]
+            # Dedup (narrow tuple, destination) so each narrow tuple
+            # crosses once per wide node; the rejoin by key restores the
+            # full output at the destination.
+            combo = np.stack([n_node, n_pos, w_node], axis=1)
+            unique_send = np.unique(combo, axis=0)
+            profile.add_cpu_at(
+                "Deduplicate rid pairs", "aggregate", t_node, pair.num_rows * 16.0
+            )
+            for src in np.unique(unique_send[:, 0]):
+                sel = unique_send[unique_send[:, 0] == src]
+                # Instruction to the narrow node: (local rid, destination).
+                nbytes = len(sel) * (rid_narrow + spec.location_width)
+                cluster.network.send(t_node, int(src), MessageClass.RIDS, nbytes)
+                if int(src) != t_node:
+                    profile.add_net_at("Send narrow rids", t_node, nbytes)
+                send_jobs.setdefault(int(src), []).append(
+                    (t_node, sel[:, 1], sel[:, 2])
+                )
+            combo_w = np.stack([w_node, w_pos], axis=1)
+            unique_wide = np.unique(combo_w, axis=0)
+            for dst in np.unique(unique_wide[:, 0]):
+                sel = unique_wide[unique_wide[:, 0] == dst]
+                # The wide node learns which of its rids participate.
+                nbytes = len(sel) * rid_wide
+                cluster.network.send(t_node, int(dst), MessageClass.RIDS, nbytes)
+                if int(dst) != t_node:
+                    profile.add_net_at("Send wide rids", t_node, nbytes)
+                wide_rows.setdefault(int(dst), []).append(sel[:, 1])
+        for _n, _m in cluster.network.deliver_all():
+            pass
+
+        # Narrow nodes ship (key + narrow payload) to each destination.
+        arrivals: dict[int, list[LocalPartition]] = {}
+        for src, jobs in send_jobs.items():
+            partition = narrow_table.partitions[src]
+            for _t_node, positions, destinations in jobs:
+                order = np.argsort(destinations, kind="stable")
+                bounds = np.searchsorted(
+                    destinations[order], np.arange(cluster.num_nodes + 1)
+                )
+                for dst in range(cluster.num_nodes):
+                    rows = order[bounds[dst] : bounds[dst + 1]]
+                    if len(rows) == 0:
+                        continue
+                    batch = partition.take(positions[rows])
+                    nbytes = len(rows) * narrow_width
+                    cluster.network.send(src, dst, narrow_category, nbytes, payload=batch)
+                    if src == dst:
+                        profile.add_local("Local copy narrow tuples", src, nbytes)
+                    else:
+                        profile.add_net_at("Transfer narrow tuples", src, nbytes)
+        for _n, _m in cluster.network.deliver_all():
+            pass
+        for src, jobs in send_jobs.items():
+            partition = narrow_table.partitions[src]
+            for _t_node, positions, destinations in jobs:
+                order = np.argsort(destinations, kind="stable")
+                bounds = np.searchsorted(
+                    destinations[order], np.arange(cluster.num_nodes + 1)
+                )
+                for dst in range(cluster.num_nodes):
+                    rows = order[bounds[dst] : bounds[dst + 1]]
+                    if len(rows) == 0:
+                        continue
+                    arrivals.setdefault(dst, []).append(partition.take(positions[rows]))
+
+        # Rejoin at the wide nodes: selected local tuples vs arrivals.
+        output = []
+        for node in range(cluster.num_nodes):
+            received = arrivals.get(node, [])
+            if not received or node not in wide_rows:
+                names = tuple("r." + n for n in table_r.payload_names) + tuple(
+                    "s." + n for n in table_s.payload_names
+                )
+                output.append(LocalPartition.empty(names))
+                continue
+            narrow_part = LocalPartition.concat(received)
+            positions = np.unique(np.concatenate(wide_rows[node]))
+            wide_part = wide_table.partitions[node].take(positions)
+            idx_w, idx_n = join_indices(wide_part.keys, narrow_part.keys)
+            profile.add_cpu_at(
+                "Rejoin at wide node",
+                "merge",
+                node,
+                (wide_part.num_rows + narrow_part.num_rows + len(idx_w)) * narrow_width,
+            )
+            columns: dict[str, np.ndarray] = {}
+            for name, values in wide_part.columns.items():
+                columns[f"{wide}.{name}"] = values[idx_w]
+            for name, values in narrow_part.columns.items():
+                columns[f"{narrow}.{name}"] = values[idx_n]
+            output.append(LocalPartition(keys=wide_part.keys[idx_w], columns=columns))
+        return output

@@ -1,0 +1,6 @@
+"""MapReduce substrate and joins re-implemented on it (Section 6)."""
+
+from .engine import Channel, MapReduceJob, MapReduceResult
+from .joins import mr_hash_join, mr_track_join
+
+__all__ = ["Channel", "MapReduceJob", "MapReduceResult", "mr_hash_join", "mr_track_join"]

@@ -1,0 +1,28 @@
+"""Query plans over distributed tables: scans, joins, aggregation."""
+
+from .aggregate import AggregateSpec, AggregationResult, run_aggregation
+from .executor import OperatorStats, QueryResult, execute, rekey_table, table_stats
+from .plan import Aggregate, Join, PlanNode, Rekey, Scan
+from .predicates import And, ColumnPredicate, Or, Predicate
+from .starplan import star_plan
+
+__all__ = [
+    "Scan",
+    "Join",
+    "Aggregate",
+    "Rekey",
+    "star_plan",
+    "rekey_table",
+    "PlanNode",
+    "execute",
+    "QueryResult",
+    "OperatorStats",
+    "table_stats",
+    "AggregateSpec",
+    "AggregationResult",
+    "run_aggregation",
+    "Predicate",
+    "ColumnPredicate",
+    "And",
+    "Or",
+]

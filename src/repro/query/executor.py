@@ -1,0 +1,294 @@
+"""Query plan execution over the simulated cluster.
+
+Walks a :mod:`repro.query.plan` tree bottom-up: scans filter locally,
+joins run one of the distributed operators (picked by the Section 3
+cost model when ``algorithm="auto"``), and aggregation finishes with
+the two-phase group-by.  Intermediate results stay distributed; the
+executor threads traffic ledgers through so the returned
+:class:`QueryResult` accounts every byte of the whole query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import TrafficLedger
+from ..core.track_join import TrackJoin2, TrackJoin3, TrackJoin4
+from ..costmodel.optimizer import choose_algorithm
+from ..costmodel.stats import JoinStats
+from ..errors import ReproError
+from ..joins.base import DistributedJoin, JoinResult, JoinSpec
+from ..joins.broadcast import BroadcastJoin
+from ..joins.grace_hash import GraceHashJoin
+from ..joins.semijoin import SemiJoinFilteredJoin
+from ..storage.schema import Column, Schema
+from ..storage.table import DistributedTable, LocalPartition
+from .aggregate import run_aggregation
+from .plan import Aggregate, Join, PlanNode, Rekey, Scan
+
+__all__ = ["QueryResult", "OperatorStats", "execute", "table_stats", "rekey_table"]
+
+_ALGORITHMS: dict[str, callable] = {
+    "HJ": GraceHashJoin,
+    "BJ-R": lambda: BroadcastJoin("R"),
+    "BJ-S": lambda: BroadcastJoin("S"),
+    "2TJ-R": lambda: TrackJoin2("RS"),
+    "2TJ-S": lambda: TrackJoin2("SR"),
+    "3TJ": TrackJoin3,
+    "4TJ": TrackJoin4,
+}
+
+
+@dataclass
+class OperatorStats:
+    """One executed operator's contribution to the query."""
+
+    operator: str
+    output_rows: int
+    network_bytes: float
+    note: str = ""
+
+
+@dataclass
+class QueryResult:
+    """Final table plus the query-wide traffic accounting."""
+
+    table: DistributedTable
+    traffic: TrafficLedger
+    operators: list[OperatorStats] = field(default_factory=list)
+
+    @property
+    def network_bytes(self) -> float:
+        """Total bytes the whole query moved across the network."""
+        return self.traffic.total_bytes
+
+    @property
+    def output_rows(self) -> int:
+        """Rows of the final result."""
+        return self.table.total_rows
+
+
+def table_stats(
+    table_r: DistributedTable,
+    table_s: DistributedTable,
+    spec: JoinSpec,
+    sample_rate: float | None = None,
+) -> JoinStats:
+    """Join statistics measured from two distributed tables.
+
+    With ``sample_rate`` set, statistics come from a key-correlated
+    sample (the Section 3.1 technique a real optimizer would use);
+    otherwise they are exact, isolating the algorithm-choice logic
+    from estimation error.
+    """
+    keys_r = table_r.all_keys()
+    keys_s = table_s.all_keys()
+    if sample_rate is not None:
+        from ..costmodel.sampling import _sample_mask
+
+        keys_r = keys_r[_sample_mask(keys_r, sample_rate)]
+        keys_s = keys_s[_sample_mask(keys_s, sample_rate)]
+        if len(keys_r) == 0 or len(keys_s) == 0:
+            keys_r = table_r.all_keys()
+            keys_s = table_s.all_keys()
+            sample_rate = None
+    distinct_r = np.unique(keys_r)
+    distinct_s = np.unique(keys_s)
+    matched = np.intersect1d(distinct_r, distinct_s, assume_unique=True)
+    if len(keys_r) and len(matched):
+        selectivity_r = float(np.isin(keys_r, matched).mean())
+    else:
+        selectivity_r = 0.0
+    if len(keys_s) and len(matched):
+        selectivity_s = float(np.isin(keys_s, matched).mean())
+    else:
+        selectivity_s = 0.0
+    inflate = 1.0 / sample_rate if sample_rate else 1.0
+    return JoinStats(
+        num_nodes=table_r.num_nodes,
+        tuples_r=max(1, len(keys_r)) * inflate,
+        tuples_s=max(1, len(keys_s)) * inflate,
+        distinct_r=max(1, len(distinct_r)) * inflate,
+        distinct_s=max(1, len(distinct_s)) * inflate,
+        key_width=table_r.schema.key_width(spec.encoding),
+        payload_r=table_r.schema.payload_width(spec.encoding),
+        payload_s=table_s.schema.payload_width(spec.encoding),
+        selectivity_r=selectivity_r,
+        selectivity_s=selectivity_s,
+        location_width=spec.location_width,
+    )
+
+
+def _output_column_defs(
+    left: DistributedTable, right: DistributedTable
+) -> tuple[Column, dict[str, Column]]:
+    """Column definitions of a join output: key + prefixed payloads."""
+    key_column = left.schema.key_columns[0]
+    defs: dict[str, Column] = {}
+    for column in left.schema.payload_columns:
+        defs["r." + column.name] = Column(
+            "r." + column.name,
+            bits=column.bits,
+            decimal_digits=column.decimal_digits,
+            char_length=column.char_length,
+        )
+    for column in right.schema.payload_columns:
+        defs["s." + column.name] = Column(
+            "s." + column.name,
+            bits=column.bits,
+            decimal_digits=column.decimal_digits,
+            char_length=column.char_length,
+        )
+    return key_column, defs
+
+
+def _join_output_table(
+    result: JoinResult,
+    left: DistributedTable,
+    right: DistributedTable,
+    rekey_on: str | None,
+) -> DistributedTable:
+    """Package a join's output partitions as a distributed table."""
+    key_column, defs = _output_column_defs(left, right)
+    if result.output is None:
+        raise ReproError("query joins need materialize=True in the JoinSpec")
+    if rekey_on is None:
+        schema = Schema((key_column,), tuple(defs.values()))
+        return DistributedTable(f"({left.name}⋈{right.name})", schema, result.output)
+    if rekey_on not in defs:
+        raise ReproError(
+            f"cannot re-key join output on {rekey_on!r}; columns: {sorted(defs)}"
+        )
+    new_key = defs.pop(rekey_on)
+    old_key_name = key_column.name
+    payload = (Column(old_key_name, bits=key_column.bits,
+                      decimal_digits=key_column.decimal_digits,
+                      char_length=key_column.char_length),) + tuple(defs.values())
+    schema = Schema((new_key,), payload)
+    partitions = []
+    for partition in result.output:
+        columns = dict(partition.columns)
+        new_keys = columns.pop(rekey_on)
+        columns[old_key_name] = partition.keys
+        partitions.append(LocalPartition(keys=new_keys, columns=columns))
+    return DistributedTable(f"({left.name}⋈{right.name})", schema, partitions)
+
+
+def rekey_table(table: DistributedTable, column: str) -> DistributedTable:
+    """Re-key a distributed table on one of its payload columns.
+
+    Node-local: rows stay where they are; only the schema's notion of
+    the join key changes, with the old key demoted to a payload column.
+    """
+    matches = [c for c in table.schema.payload_columns if c.name == column]
+    if not matches:
+        raise ReproError(
+            f"cannot re-key {table.name!r} on unknown column {column!r}; "
+            f"payload columns: {[c.name for c in table.schema.payload_columns]}"
+        )
+    new_key = matches[0]
+    old_key = table.schema.key_columns[0]
+    payload = (old_key,) + tuple(
+        c for c in table.schema.payload_columns if c.name != column
+    )
+    schema = Schema((new_key,), payload)
+    partitions = []
+    for partition in table.partitions:
+        columns = dict(partition.columns)
+        new_keys = columns.pop(column)
+        columns[old_key.name] = partition.keys
+        partitions.append(LocalPartition(keys=new_keys, columns=columns))
+    return DistributedTable(f"rekey({table.name},{column})", schema, partitions)
+
+
+def _execute_scan(node: Scan, cluster: Cluster) -> tuple[DistributedTable, OperatorStats]:
+    cluster.check_table(node.table)
+    if node.predicate is None:
+        stats = OperatorStats("scan", node.table.total_rows, 0.0)
+        return node.table, stats
+    partitions = [
+        partition.take(node.predicate.mask(partition))
+        for partition in node.table.partitions
+    ]
+    filtered = DistributedTable(f"σ({node.table.name})", node.table.schema, partitions)
+    kept = filtered.total_rows
+    selectivity = kept / node.table.total_rows if node.table.total_rows else 0.0
+    stats = OperatorStats(
+        "scan+filter", kept, 0.0, note=f"selectivity {selectivity:.3f}"
+    )
+    return filtered, stats
+
+
+def execute(plan: PlanNode, cluster: Cluster, spec: JoinSpec | None = None) -> QueryResult:
+    """Execute a plan tree and return the final table with accounting."""
+    spec = spec or JoinSpec()
+    if not spec.materialize:
+        raise ReproError("query execution requires materialize=True")
+
+    if isinstance(plan, Scan):
+        table, stats = _execute_scan(plan, cluster)
+        return QueryResult(table=table, traffic=TrafficLedger(), operators=[stats])
+
+    if isinstance(plan, Join):
+        left = execute(plan.left, cluster, spec)
+        right = execute(plan.right, cluster, spec)
+        if plan.algorithm == "auto":
+            stats = table_stats(left.table, right.table, spec)
+            choice = choose_algorithm(stats)
+            algorithm_name = choice.algorithm
+            note = f"auto: {choice.algorithm}"
+            if choice.note:
+                note += f" ({choice.note})"
+        elif plan.algorithm in _ALGORITHMS:
+            algorithm_name = plan.algorithm
+            note = "fixed"
+        else:
+            raise ReproError(
+                f"unknown join algorithm {plan.algorithm!r}; "
+                f"use 'auto' or one of {sorted(_ALGORITHMS)}"
+            )
+        operator: DistributedJoin = _ALGORITHMS[algorithm_name]()
+        if plan.semijoin_filter:
+            operator = SemiJoinFilteredJoin(operator)
+        result = operator.run(cluster, left.table, right.table, spec)
+        out_table = _join_output_table(result, left.table, right.table, plan.rekey_on)
+        traffic = left.traffic.merged_with(right.traffic).merged_with(result.traffic)
+        operators = (
+            left.operators
+            + right.operators
+            + [
+                OperatorStats(
+                    f"join[{operator.name}]",
+                    result.output_rows,
+                    result.network_bytes,
+                    note=note,
+                )
+            ]
+        )
+        return QueryResult(table=out_table, traffic=traffic, operators=operators)
+
+    if isinstance(plan, Rekey):
+        child = execute(plan.child, cluster, spec)
+        table = rekey_table(child.table, plan.column)
+        operators = child.operators + [
+            OperatorStats("rekey", table.total_rows, 0.0, note=f"on {plan.column}")
+        ]
+        return QueryResult(table=table, traffic=child.traffic, operators=operators)
+
+    if isinstance(plan, Aggregate):
+        child = execute(plan.child, cluster, spec)
+        aggregated = run_aggregation(cluster, child.table, plan.aggregates, spec)
+        traffic = child.traffic.merged_with(aggregated.traffic)
+        operators = child.operators + [
+            OperatorStats(
+                "aggregate",
+                aggregated.table.total_rows,
+                aggregated.network_bytes,
+            )
+        ]
+        return QueryResult(table=aggregated.table, traffic=traffic, operators=operators)
+
+    raise ReproError(f"unknown plan node type: {type(plan).__name__}")

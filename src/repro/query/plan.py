@@ -1,0 +1,82 @@
+"""Logical query plans: scans, joins, and a final aggregation.
+
+The paper's expensive queries are multi-join plans — "Q1 joins 7
+relations, after applying selections on 4, and performs one final
+aggregation."  These plan nodes let the library express such queries
+and evaluate how per-join algorithm choices (hash join vs the track
+join variants, picked by the Section 3 cost model) shape total network
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.table import DistributedTable
+from .aggregate import AggregateSpec
+from .predicates import Predicate
+
+__all__ = ["PlanNode", "Scan", "Join", "Rekey", "Aggregate"]
+
+
+class PlanNode:
+    """Base class of all logical plan nodes."""
+
+
+@dataclass
+class Scan(PlanNode):
+    """Read one distributed table, optionally applying a selection.
+
+    Selections run node-local (no network traffic) and feed the cost
+    model's input selectivity terms.
+    """
+
+    table: DistributedTable
+    predicate: Predicate | None = None
+
+
+@dataclass
+class Join(PlanNode):
+    """Distributed equi-join of two sub-plans on their key columns.
+
+    Parameters
+    ----------
+    algorithm:
+        A fixed operator name ("HJ", "BJ-R", "BJ-S", "2TJ-R", "2TJ-S",
+        "3TJ", "4TJ") or ``"auto"`` to let the Section 3 cost model
+        choose from the inputs' measured statistics.
+    rekey_on:
+        Column of the join output (e.g. ``"s.customer_id"``) to use as
+        the key of the produced table, so a subsequent join can run on
+        a different attribute.  ``None`` keeps the current join key.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    algorithm: str = "auto"
+    rekey_on: str | None = None
+    #: Wrap the join in two-way Bloom semi-join filtering (Section 3.3).
+    semijoin_filter: bool = False
+
+
+@dataclass
+class Rekey(PlanNode):
+    """Re-key the child's table on one of its payload columns.
+
+    A purely local operation (no traffic): the named column becomes the
+    join key of the produced table and the old key becomes a payload
+    column.  Used to join the next relation on a different attribute —
+    e.g. keying a fact table on a foreign key before joining its
+    dimension.
+    """
+
+    child: PlanNode
+    column: str
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Group the child by its key column and compute aggregates."""
+
+    child: PlanNode
+    aggregates: tuple[AggregateSpec, ...] = field(default=())

@@ -1,0 +1,92 @@
+"""Selection predicates over distributed table columns.
+
+The paper's expensive queries "apply selections on 4 [relations]"
+before joining; input selectivity (``sR``/``sS``) is also a first-class
+term of the Section 3 cost model.  Predicates here are simple,
+vectorized column comparisons that plan scans push down to every
+partition — selections are node-local and generate no network traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..storage.table import LocalPartition
+
+__all__ = ["Predicate", "ColumnPredicate", "And", "Or"]
+
+_OPS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+class Predicate:
+    """Base predicate: maps a partition to a boolean keep-mask."""
+
+    def mask(self, partition: LocalPartition) -> np.ndarray:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+
+@dataclass(frozen=True)
+class ColumnPredicate(Predicate):
+    """Compare one column against a constant.
+
+    ``column`` may name a payload column or ``"key"`` for the join key.
+    """
+
+    column: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ReproError(f"unknown predicate operator {self.op!r}; use {sorted(_OPS)}")
+
+    def _column_values(self, partition: LocalPartition) -> np.ndarray:
+        if self.column == "key":
+            return partition.keys
+        if self.column not in partition.columns:
+            raise ReproError(
+                f"predicate references unknown column {self.column!r}; "
+                f"partition has {sorted(partition.columns)}"
+            )
+        return partition.columns[self.column]
+
+    def mask(self, partition: LocalPartition) -> np.ndarray:
+        return _OPS[self.op](self._column_values(partition), self.value)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def mask(self, partition: LocalPartition) -> np.ndarray:
+        return self.left.mask(partition) & self.right.mask(partition)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+    def mask(self, partition: LocalPartition) -> np.ndarray:
+        return self.left.mask(partition) | self.right.mask(partition)

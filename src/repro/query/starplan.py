@@ -1,0 +1,70 @@
+"""Star-schema plan building with a simple join-order heuristic.
+
+The paper's expensive queries join a fact-like intermediate result with
+several other relations.  Given a fact table and its dimensions keyed
+by foreign-key columns, :func:`star_plan` builds the left-deep plan —
+re-keying the running result on each dimension's foreign key before
+joining it — and optionally orders the dimensions smallest-first, the
+classic greedy heuristic that shrinks intermediate results early.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .plan import Join, PlanNode, Rekey, Scan
+
+__all__ = ["star_plan"]
+
+
+def star_plan(
+    fact: Scan,
+    dimensions: dict[str, Scan],
+    algorithm: str = "auto",
+    order: str = "smallest-first",
+) -> PlanNode:
+    """Left-deep plan joining ``fact`` with each dimension.
+
+    Parameters
+    ----------
+    fact:
+        Scan of the fact table; its payload columns must include every
+        foreign key named in ``dimensions``.
+    dimensions:
+        Maps a fact foreign-key column to the dimension scan keyed by
+        that column's values.  After the first join, foreign keys live
+        under accumulating ``r.`` prefixes, which the builder tracks.
+    algorithm:
+        Join algorithm for every join ("auto" lets the cost model pick
+        per join).
+    order:
+        ``"smallest-first"`` joins dimensions in ascending table size
+        (shrink-early heuristic); ``"given"`` preserves dict order.
+    """
+    if not dimensions:
+        raise ReproError("star_plan needs at least one dimension")
+    if order == "smallest-first":
+        ordered = sorted(dimensions.items(), key=lambda kv: kv[1].table.total_rows)
+    elif order == "given":
+        ordered = list(dimensions.items())
+    else:
+        raise ReproError(f"unknown dimension order {order!r}")
+
+    fact_columns = set(fact.table.payload_names)
+    missing = [fk for fk, _scan in ordered if fk not in fact_columns]
+    if missing:
+        raise ReproError(
+            f"fact table {fact.table.name!r} lacks foreign key columns {missing}"
+        )
+
+    plan: PlanNode = fact
+    # Name of each pending foreign key inside the running result: after
+    # every join, previous fact-side columns gain an "r." prefix, and
+    # the re-keyed-away old key returns as a payload column.
+    current_name = {fk: fk for fk, _scan in ordered}
+    for fk, dimension in ordered:
+        plan = Join(Rekey(plan, current_name[fk]), dimension, algorithm=algorithm)
+        for other in current_name:
+            current_name[other] = "r." + current_name[other]
+        # The re-keyed column was consumed as the join key; its fact
+        # row identity lives on via the join output's key itself.
+    return plan

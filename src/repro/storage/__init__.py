@@ -1,0 +1,25 @@
+"""Storage layer: schemas, distributed tables, and placement policies."""
+
+from .placement import (
+    by_key_hash,
+    collocated_fraction,
+    pattern_nodes,
+    random_uniform,
+    round_robin,
+    shuffled,
+)
+from .schema import Column, Schema
+from .table import DistributedTable, LocalPartition
+
+__all__ = [
+    "Column",
+    "Schema",
+    "DistributedTable",
+    "LocalPartition",
+    "round_robin",
+    "random_uniform",
+    "by_key_hash",
+    "shuffled",
+    "pattern_nodes",
+    "collocated_fraction",
+]

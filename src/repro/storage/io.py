@@ -1,0 +1,98 @@
+"""Saving and loading distributed tables.
+
+Workload generation can dominate iteration time for large experiments;
+this module persists a :class:`~repro.storage.table.DistributedTable`
+(including its schema and per-node partitioning) to a single ``.npz``
+file and restores it losslessly, so generated inputs can be reused
+across processes and shared between machines.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import Column, Schema
+from .table import DistributedTable, LocalPartition
+
+__all__ = ["save_table", "load_table"]
+
+_FORMAT_VERSION = 1
+
+
+def _column_to_dict(column: Column) -> dict:
+    return {
+        "name": column.name,
+        "bits": column.bits,
+        "decimal_digits": column.decimal_digits,
+        "char_length": column.char_length,
+    }
+
+
+def _column_from_dict(payload: dict) -> Column:
+    return Column(
+        payload["name"],
+        bits=payload["bits"],
+        decimal_digits=payload["decimal_digits"],
+        char_length=payload["char_length"],
+    )
+
+
+def save_table(table: DistributedTable, path: str) -> None:
+    """Serialize ``table`` (schema + all partitions) to ``path``.
+
+    The on-disk format is a numpy ``.npz`` archive holding each
+    partition's key and payload arrays plus a JSON metadata record.
+    """
+    metadata = {
+        "version": _FORMAT_VERSION,
+        "name": table.name,
+        "num_nodes": table.num_nodes,
+        "payload_names": list(table.payload_names),
+        "schema": {
+            "key_columns": [_column_to_dict(c) for c in table.schema.key_columns],
+            "payload_columns": [
+                _column_to_dict(c) for c in table.schema.payload_columns
+            ],
+        },
+    }
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)
+    }
+    for node, partition in enumerate(table.partitions):
+        arrays[f"keys_{node}"] = partition.keys
+        for name, values in partition.columns.items():
+            arrays[f"col_{node}_{name}"] = values
+    np.savez_compressed(path, **arrays)
+
+
+def load_table(path: str) -> DistributedTable:
+    """Restore a table previously written by :func:`save_table`."""
+    with np.load(path) as archive:
+        if "__meta__" not in archive:
+            raise SchemaError(f"{path} is not a saved DistributedTable")
+        metadata = json.loads(bytes(archive["__meta__"].tobytes()).decode())
+        if metadata.get("version") != _FORMAT_VERSION:
+            raise SchemaError(
+                f"unsupported table format version {metadata.get('version')}"
+            )
+        schema = Schema(
+            key_columns=tuple(
+                _column_from_dict(c) for c in metadata["schema"]["key_columns"]
+            ),
+            payload_columns=tuple(
+                _column_from_dict(c) for c in metadata["schema"]["payload_columns"]
+            ),
+        )
+        partitions = []
+        for node in range(metadata["num_nodes"]):
+            columns = {
+                name: archive[f"col_{node}_{name}"]
+                for name in metadata["payload_names"]
+            }
+            partitions.append(
+                LocalPartition(keys=archive[f"keys_{node}"], columns=columns)
+            )
+    return DistributedTable(metadata["name"], schema, partitions)

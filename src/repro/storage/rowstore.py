@@ -1,0 +1,56 @@
+"""Row-store organization of table fragments.
+
+Track join "is compatible with both row-store and column-store
+organization" (Section 1, property iv): nothing in the algorithm
+depends on how tuples are laid out locally.  The simulator's native
+fragments are columnar (:class:`~repro.storage.table.LocalPartition`
+holds one numpy array per column); this module provides the row-major
+counterpart — a numpy structured array with one record per tuple — and
+lossless conversions between the two, so tables can be built from
+row-store data and joined unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchemaError
+from .table import DistributedTable, LocalPartition
+
+__all__ = ["to_row_store", "from_row_store", "row_store_table"]
+
+#: Field name the join key occupies inside a row-store record.
+KEY_FIELD = "__key__"
+
+
+def to_row_store(partition: LocalPartition) -> np.ndarray:
+    """Pack a columnar fragment into a row-major structured array."""
+    dtype = [(KEY_FIELD, np.int64)] + [
+        (name, values.dtype) for name, values in partition.columns.items()
+    ]
+    rows = np.empty(partition.num_rows, dtype=dtype)
+    rows[KEY_FIELD] = partition.keys
+    for name, values in partition.columns.items():
+        rows[name] = values
+    return rows
+
+
+def from_row_store(rows: np.ndarray) -> LocalPartition:
+    """Unpack a row-major structured array back into a columnar fragment."""
+    if rows.dtype.names is None or KEY_FIELD not in rows.dtype.names:
+        raise SchemaError(
+            f"row-store records need a {KEY_FIELD!r} field; got dtype {rows.dtype}"
+        )
+    columns = {
+        name: np.ascontiguousarray(rows[name])
+        for name in rows.dtype.names
+        if name != KEY_FIELD
+    }
+    return LocalPartition(keys=np.ascontiguousarray(rows[KEY_FIELD]), columns=columns)
+
+
+def row_store_table(name: str, schema, row_partitions: list[np.ndarray]) -> DistributedTable:
+    """Build a distributed table from per-node row-store fragments."""
+    return DistributedTable(
+        name, schema, [from_row_store(rows) for rows in row_partitions]
+    )

@@ -1,0 +1,124 @@
+"""Relational schemas with encoding-aware wire widths.
+
+Traffic in the paper depends on the *encoded* width of the columns that
+cross the network, not on their in-memory representation (Section 4.1
+evaluates fixed-byte, variable-byte, and minimum-bit dictionary codes for
+the same logical data).  A :class:`Schema` therefore describes columns by
+their logical properties — minimum dictionary bits, decimal digit count,
+or character length — and defers byte widths to an encoding object from
+:mod:`repro.encoding`.
+
+Inside the simulator all columns are carried as numpy arrays; the schema
+is the authority on how many bytes each value would occupy on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SchemaError
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name; unique within a schema.
+    bits:
+        Width of the minimum-bit dictionary code, i.e. ``ceil(log2 d)``
+        for ``d`` distinct values (this is how Table 1 of the paper
+        reports column widths).  ``None`` for raw character columns.
+    decimal_digits:
+        Number of decimal digits of the stored values, used by the
+        base-100 variable-byte encoding (two digits per byte).  Derived
+        from ``bits`` when omitted.
+    char_length:
+        Byte length for fixed-length character data (e.g. the 23-byte
+        character column of workload Y).
+    """
+
+    name: str
+    bits: int | None = None
+    decimal_digits: int | None = None
+    char_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bits is None and self.char_length is None:
+            raise SchemaError(
+                f"column {self.name!r} needs either dictionary bits or a char length"
+            )
+        if self.bits is not None and self.bits <= 0:
+            raise SchemaError(f"column {self.name!r}: bits must be positive")
+        if self.char_length is not None and self.char_length <= 0:
+            raise SchemaError(f"column {self.name!r}: char_length must be positive")
+
+    @property
+    def is_char(self) -> bool:
+        """Whether this is a raw character column (no dictionary code)."""
+        return self.bits is None
+
+    def effective_decimal_digits(self) -> int:
+        """Decimal digits of the value domain, derived from bits if needed."""
+        if self.decimal_digits is not None:
+            return self.decimal_digits
+        if self.bits is None:
+            raise SchemaError(f"char column {self.name!r} has no decimal representation")
+        return max(1, math.ceil(self.bits * math.log10(2)))
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Key and payload columns of one join input.
+
+    The join key may span several columns (conjunctive equality
+    conditions); their widths are summed, matching the ``wk`` term of
+    the paper's cost model.
+    """
+
+    key_columns: tuple[Column, ...]
+    payload_columns: tuple[Column, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.key_columns:
+            raise SchemaError("a join schema needs at least one key column")
+        names = [c.name for c in self.key_columns + self.payload_columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+
+    @classmethod
+    def with_widths(
+        cls, key_bits: int, payload_bits: int, payload_name: str = "payload"
+    ) -> "Schema":
+        """Convenience constructor: one key column and one payload column.
+
+        Most synthetic experiments only need total widths; e.g.
+        ``Schema.with_widths(32, 16 * 8)`` is a 4-byte key with a 16-byte
+        payload under dictionary encoding.
+        """
+        payload: tuple[Column, ...] = ()
+        if payload_bits > 0:
+            payload = (Column(payload_name, bits=payload_bits),)
+        return cls(key_columns=(Column("key", bits=key_bits),), payload_columns=payload)
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        """All columns, key first."""
+        return self.key_columns + self.payload_columns
+
+    def key_width(self, encoding) -> float:
+        """Wire width in bytes of the join key under ``encoding``."""
+        return float(sum(encoding.column_width_bytes(c) for c in self.key_columns))
+
+    def payload_width(self, encoding) -> float:
+        """Wire width in bytes of all payload columns under ``encoding``."""
+        return float(sum(encoding.column_width_bytes(c) for c in self.payload_columns))
+
+    def tuple_width(self, encoding) -> float:
+        """Wire width in bytes of a full tuple (key + payload)."""
+        return self.key_width(encoding) + self.payload_width(encoding)

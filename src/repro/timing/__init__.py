@@ -1,0 +1,23 @@
+"""Timing substrate: execution profiles and calibrated hardware models."""
+
+from .hardware import (
+    HardwareModel,
+    StepTiming,
+    bottleneck_seconds,
+    paper_cluster_2014,
+    scaled_network,
+)
+from .profile import CPU, LOCAL, NET, ExecutionProfile, Step
+
+__all__ = [
+    "ExecutionProfile",
+    "Step",
+    "HardwareModel",
+    "StepTiming",
+    "paper_cluster_2014",
+    "scaled_network",
+    "bottleneck_seconds",
+    "CPU",
+    "NET",
+    "LOCAL",
+]

@@ -1,0 +1,124 @@
+"""Execution profiles: the per-step work a distributed join performs.
+
+The paper's Tables 2-4 report wall-clock seconds per algorithm step on a
+real 4-machine cluster.  Our substrate is a simulator, so joins instead
+record *work*: for every named step, how many bytes each node processed
+(CPU steps) or how many bytes crossed the network (network steps).  A
+:class:`~repro.timing.hardware.HardwareModel` then converts work into
+seconds with calibrated rates.
+
+Steps are recorded in execution order and keep the paper's step names
+("Hash partition R tuples", "Generate schedules and partition by node",
+...), so the Table 3/4 benches print rows aligned with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Step", "ExecutionProfile", "CPU", "NET", "LOCAL"]
+
+#: Step kinds.  ``LOCAL`` marks node-local memory copies, which the paper
+#: separates from real network transfers ("Local copy tuples").
+CPU = "cpu"
+NET = "net"
+LOCAL = "local"
+
+
+@dataclass
+class Step:
+    """One named step of a join execution.
+
+    Attributes
+    ----------
+    name:
+        Human-readable step name (matches the paper's step tables).
+    kind:
+        ``CPU`` (per-node processing), ``NET`` (network transfer), or
+        ``LOCAL`` (node-local copy).
+    rate_class:
+        Which calibrated hardware rate applies ("partition", "sort",
+        "merge", "aggregate", "schedule", "copy", "transfer").
+    per_node_bytes:
+        Work per node.  CPU time is driven by the most loaded node
+        (nodes run in parallel); network time by the total volume.
+    """
+
+    name: str
+    kind: str
+    rate_class: str
+    per_node_bytes: np.ndarray
+
+    @property
+    def total_bytes(self) -> float:
+        """Work summed over all nodes."""
+        return float(self.per_node_bytes.sum())
+
+    @property
+    def max_node_bytes(self) -> float:
+        """Work of the most loaded node."""
+        return float(self.per_node_bytes.max()) if len(self.per_node_bytes) else 0.0
+
+
+class ExecutionProfile:
+    """Ordered collection of the steps one join execution performed."""
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self.steps: list[Step] = []
+
+    def _accumulate(self, name: str, kind: str, rate_class: str, per_node) -> Step:
+        per_node = np.asarray(per_node, dtype=np.float64)
+        if per_node.shape != (self.num_nodes,):
+            raise ValueError(
+                f"step {name!r}: expected {self.num_nodes} per-node values, "
+                f"got shape {per_node.shape}"
+            )
+        # Merge with an existing step of the same name so loops over nodes
+        # can record incrementally.
+        for step in self.steps:
+            if step.name == name and step.kind == kind:
+                step.per_node_bytes = step.per_node_bytes + per_node
+                return step
+        step = Step(name=name, kind=kind, rate_class=rate_class, per_node_bytes=per_node)
+        self.steps.append(step)
+        return step
+
+    def add_cpu(self, name: str, rate_class: str, per_node_bytes) -> Step:
+        """Record per-node CPU work for a named step."""
+        return self._accumulate(name, CPU, rate_class, per_node_bytes)
+
+    def add_cpu_at(self, name: str, rate_class: str, node: int, nbytes: float) -> Step:
+        """Record CPU work for one node of a named step."""
+        per_node = np.zeros(self.num_nodes)
+        per_node[node] = nbytes
+        return self._accumulate(name, CPU, rate_class, per_node)
+
+    def add_net(self, name: str, per_node_sent_bytes) -> Step:
+        """Record a network transfer step (bytes sent per node)."""
+        return self._accumulate(name, NET, "transfer", per_node_sent_bytes)
+
+    def add_net_at(self, name: str, node: int, nbytes: float) -> Step:
+        """Record bytes one node sent during a named transfer step."""
+        per_node = np.zeros(self.num_nodes)
+        per_node[node] = nbytes
+        return self._accumulate(name, NET, "transfer", per_node)
+
+    def add_local(self, name: str, node: int, nbytes: float) -> Step:
+        """Record a node-local copy (not network traffic)."""
+        per_node = np.zeros(self.num_nodes)
+        per_node[node] = nbytes
+        return self._accumulate(name, LOCAL, "copy", per_node)
+
+    def step_named(self, name: str) -> Step | None:
+        """Look up a recorded step by name."""
+        for step in self.steps:
+            if step.name == name:
+                return step
+        return None
+
+    def total_network_bytes(self) -> float:
+        """Bytes crossing the network over all NET steps."""
+        return sum(s.total_bytes for s in self.steps if s.kind == NET)

@@ -1,0 +1,42 @@
+"""Workload container shared by all generators.
+
+A :class:`Workload` bundles everything one traffic experiment needs: a
+cluster, both distributed input tables, and the factor that scales
+measured traffic back up to the paper's full cardinalities (traffic is
+linear in table size for every algorithm under study, so scaled runs
+are exact up to per-node discretization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..storage.table import DistributedTable
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """One generated join experiment input."""
+
+    name: str
+    cluster: Cluster
+    table_r: DistributedTable
+    table_s: DistributedTable
+    #: Multiply measured traffic by this to express it at paper scale.
+    scale: float = 1.0
+    #: Expected join output rows at the generated (scaled) size, when
+    #: the generator can derive it; used by integration tests.
+    expected_output_rows: int | None = None
+    notes: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        """Cluster size of the workload."""
+        return self.cluster.num_nodes
+
+    def paper_gb(self, measured_bytes: float) -> float:
+        """Measured traffic scaled to paper-size GB."""
+        return measured_bytes * self.scale / 1e9

@@ -1,0 +1,116 @@
+"""A TPC-H-flavoured schema generator for multi-join experiments.
+
+The paper motivates track join with large-scale analytical workloads
+whose expensive queries join many relations.  The proprietary X and Y
+surrogates reproduce the paper's measurements; this module provides an
+*open* analytical schema in the familiar TPC-H shape (customer /
+orders / lineitem with realistic cardinality ratios and key
+relationships) so examples and downstream users can exercise the query
+substrate on data whose structure they can inspect.
+
+Cardinalities follow TPC-H's scale-factor convention: ``SF = 1`` means
+150k customers, 1.5M orders, ~6M lineitems.  Foreign keys are
+distributed uniformly; lineitems per order follow TPC-H's 1-7 uniform
+distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..errors import WorkloadError
+from ..storage.placement import random_uniform
+from ..storage.schema import Column, Schema
+from ..storage.table import DistributedTable
+
+__all__ = ["TPCH_BASE_ROWS", "tpch_tables"]
+
+#: Rows per relation at scale factor 1.
+TPCH_BASE_ROWS = {"customer": 150_000, "orders": 1_500_000}
+
+#: Lineitems per order: uniform 1..7 (TPC-H's distribution), mean 4.
+
+CUSTOMER_SCHEMA = Schema(
+    (Column("c_custkey", bits=24),),
+    (
+        Column("c_nationkey", bits=5),
+        Column("c_acctbal", bits=20),
+        Column("c_mktsegment", bits=3),
+    ),
+)
+ORDERS_SCHEMA = Schema(
+    (Column("o_orderkey", bits=32),),
+    (
+        Column("o_custkey", bits=24),
+        Column("o_orderdate", bits=12),
+        Column("o_totalprice", bits=24),
+        Column("o_orderpriority", bits=3),
+    ),
+)
+LINEITEM_SCHEMA = Schema(
+    (Column("l_orderkey", bits=32),),
+    (
+        Column("l_quantity", bits=6),
+        Column("l_extendedprice", bits=24),
+        Column("l_discount", bits=4),
+        Column("l_shipdate", bits=12),
+    ),
+)
+
+
+def tpch_tables(
+    cluster: Cluster, scale_factor: float = 0.01, seed: int = 0
+) -> dict[str, DistributedTable]:
+    """Generate customer, orders, and lineitem on ``cluster``.
+
+    Returns a dict of distributed tables keyed by relation name; rows
+    are placed uniformly at random (no pre-existing locality, track
+    join's worst case).
+    """
+    if scale_factor <= 0:
+        raise WorkloadError(f"scale factor must be positive, got {scale_factor}")
+    rng = np.random.default_rng(seed)
+    num_nodes = cluster.num_nodes
+    num_customers = max(1, round(TPCH_BASE_ROWS["customer"] * scale_factor))
+    num_orders = max(1, round(TPCH_BASE_ROWS["orders"] * scale_factor))
+
+    customer = cluster.table_from_assignment(
+        "customer",
+        CUSTOMER_SCHEMA,
+        np.arange(num_customers, dtype=np.int64),
+        random_uniform(num_customers, num_nodes, seed=seed * 31 + 1),
+        columns={
+            "c_nationkey": rng.integers(0, 25, num_customers),
+            "c_acctbal": rng.integers(0, 1_000_000, num_customers),
+            "c_mktsegment": rng.integers(0, 5, num_customers),
+        },
+    )
+    orders = cluster.table_from_assignment(
+        "orders",
+        ORDERS_SCHEMA,
+        np.arange(num_orders, dtype=np.int64),
+        random_uniform(num_orders, num_nodes, seed=seed * 31 + 2),
+        columns={
+            "o_custkey": rng.integers(0, num_customers, num_orders),
+            "o_orderdate": rng.integers(0, 2406, num_orders),
+            "o_totalprice": rng.integers(1_000, 10_000_000, num_orders),
+            "o_orderpriority": rng.integers(0, 5, num_orders),
+        },
+    )
+    lineitems_per_order = rng.integers(1, 8, num_orders)
+    l_orderkey = np.repeat(np.arange(num_orders, dtype=np.int64), lineitems_per_order)
+    num_lineitems = len(l_orderkey)
+    lineitem = cluster.table_from_assignment(
+        "lineitem",
+        LINEITEM_SCHEMA,
+        l_orderkey,
+        random_uniform(num_lineitems, num_nodes, seed=seed * 31 + 3),
+        columns={
+            "l_quantity": rng.integers(1, 51, num_lineitems),
+            "l_extendedprice": rng.integers(1_000, 100_000, num_lineitems),
+            "l_discount": rng.integers(0, 11, num_lineitems),
+            "l_shipdate": rng.integers(0, 2557, num_lineitems),
+        },
+    )
+    return {"customer": customer, "orders": orders, "lineitem": lineitem}

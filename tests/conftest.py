@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite.
+
+The canonicalization helpers are the public ones from
+:mod:`repro.testing`; downstream extensions get the same tools.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster
+from repro.testing import assert_same_output, canonical_output, scatter_tables
+
+__all__ = ["assert_same_output", "canonical_output", "make_tables"]
+
+
+def make_tables(
+    cluster: Cluster,
+    keys_r: np.ndarray,
+    keys_s: np.ndarray,
+    payload_bits_r: int = 64,
+    payload_bits_s: int = 128,
+    seed: int = 0,
+):
+    """Scatter two key arrays uniformly onto a cluster with rid payloads."""
+    return scatter_tables(
+        cluster,
+        keys_r,
+        keys_s,
+        payload_bits_r=payload_bits_r,
+        payload_bits_s=payload_bits_s,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def small_cluster():
+    """A 4-node cluster."""
+    return Cluster(4)
+
+
+@pytest.fixture
+def small_tables(small_cluster):
+    """Two modest random tables with repeated and partially-matching keys."""
+    rng = np.random.default_rng(7)
+    keys_r = rng.integers(0, 400, 1500)
+    keys_s = rng.integers(200, 600, 2500)
+    return make_tables(small_cluster, keys_r, keys_s)

@@ -1,0 +1,124 @@
+"""API surface checks: exports, error hierarchy, spec immutability."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro
+from repro import JoinSpec
+from repro.errors import (
+    CostModelError,
+    JoinConfigError,
+    NetworkError,
+    PlacementError,
+    ReproError,
+    ScheduleError,
+    SchemaError,
+    WorkloadError,
+)
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_alls_resolve(self):
+        import repro.costmodel
+        import repro.experiments
+        import repro.joins
+        import repro.mapreduce
+        import repro.query
+        import repro.storage
+        import repro.workloads
+
+        for module in (
+            repro.costmodel,
+            repro.experiments,
+            repro.joins,
+            repro.mapreduce,
+            repro.query,
+            repro.storage,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            SchemaError,
+            PlacementError,
+            NetworkError,
+            JoinConfigError,
+            ScheduleError,
+            CostModelError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+
+class TestJoinSpec:
+    def test_frozen(self):
+        spec = JoinSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.location_width = 9
+
+    def test_defaults_match_paper(self):
+        spec = JoinSpec()
+        assert spec.location_width == 1.0  # 1-byte node ids
+        assert spec.count_width_r == 1.0  # workload X's counter width
+        assert spec.encoding.name == "dictionary"
+        assert spec.materialize is True
+
+    def test_replace_produces_variant(self):
+        spec = JoinSpec()
+        wider = dataclasses.replace(spec, location_width=4.0)
+        assert wider.location_width == 4.0
+        assert spec.location_width == 1.0
+
+
+class TestRunAlgorithmsHelper:
+    def test_custom_algorithm_list_and_anchor(self):
+        from repro import GraceHashJoin
+        from repro.experiments.figures import run_algorithms, _figure_spec
+        from repro.workloads import unique_keys_workload
+
+        workload = unique_keys_workload(scaled_tuples=5_000)
+        group = run_algorithms(
+            workload,
+            _figure_spec(),
+            algorithms=[GraceHashJoin()],
+            paper={"HJ": 123.0},
+        )
+        assert len(group.rows) == 1
+        assert group.rows[0].label == "HJ"
+        assert group.rows[0].paper == 123.0
+        assert set(group.rows[0].breakdown) == {
+            "Keys & Counts",
+            "Keys & Nodes",
+            "R Tuples",
+            "S Tuples",
+        }
+
+    def test_output_row_mismatch_raises(self):
+        from repro import GraceHashJoin
+        from repro.experiments.figures import run_algorithms, _figure_spec
+        from repro.workloads import unique_keys_workload
+
+        workload = unique_keys_workload(scaled_tuples=1_000)
+        workload.expected_output_rows = 999  # wrong on purpose
+        with pytest.raises(AssertionError):
+            run_algorithms(workload, _figure_spec(), algorithms=[GraceHashJoin()])

@@ -1,0 +1,103 @@
+"""Tests for the balance-aware track join extension (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster, JoinSpec, Schema, TrackJoin4
+from repro.core.balance import BalanceAwareTrackJoin
+
+from conftest import assert_same_output, make_tables
+
+
+def skewed_locality_tables(cluster, num_keys=300, repeats=4, hot_node=0, seed=3):
+    """Inputs whose locality concentrates on one node.
+
+    Every key's S tuples live mostly on ``hot_node``, so traffic-optimal
+    consolidation funnels everything there.
+    """
+    rng = np.random.default_rng(seed)
+    keys = np.repeat(np.arange(num_keys, dtype=np.int64), repeats)
+    schema = Schema.with_widths(32, 128)
+    nodes_r = rng.integers(0, cluster.num_nodes, len(keys))
+    nodes_s = np.where(
+        rng.random(len(keys)) < 0.7,
+        hot_node,
+        rng.integers(0, cluster.num_nodes, len(keys)),
+    )
+    table_r = cluster.table_from_assignment("R", schema, keys, nodes_r)
+    table_s = cluster.table_from_assignment("S", schema, keys, nodes_s)
+    return table_r, table_s
+
+
+class TestCorrectness:
+    def test_same_output_as_four_phase(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        reference = TrackJoin4().run(small_cluster, table_r, table_s)
+        balanced = BalanceAwareTrackJoin().run(small_cluster, table_r, table_s)
+        assert_same_output(reference, balanced)
+
+    def test_empty_input(self, small_cluster):
+        table_r, table_s = make_tables(
+            small_cluster, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        result = BalanceAwareTrackJoin().run(small_cluster, table_r, table_s)
+        assert result.output_rows == 0
+
+    def test_tolerance_preserves_output(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        reference = TrackJoin4().run(small_cluster, table_r, table_s)
+        for tolerance in (0.0, 50.0, 1e9):
+            result = BalanceAwareTrackJoin(tolerance=tolerance).run(
+                small_cluster, table_r, table_s
+            )
+            assert_same_output(reference, result)
+
+
+class TestTrafficAndBalance:
+    def test_zero_tolerance_matches_optimal_traffic(self, small_cluster, small_tables):
+        """With tolerance 0 only exact ties are re-decided, so total
+        traffic equals the traffic-optimal 4-phase schedule."""
+        table_r, table_s = small_tables
+        spec = JoinSpec()
+        optimal = TrackJoin4().run(small_cluster, table_r, table_s, spec)
+        balanced = BalanceAwareTrackJoin(tolerance=0.0).run(
+            small_cluster, table_r, table_s, spec
+        )
+        assert balanced.network_bytes == pytest.approx(optimal.network_bytes, rel=1e-6)
+
+    def test_balancing_flattens_receive_skew(self):
+        """On skewed locality, the balancer reduces the hottest node's
+        received bytes relative to plain 4TJ."""
+        cluster = Cluster(6)
+        table_r, table_s = skewed_locality_tables(cluster)
+        spec = JoinSpec()
+        optimal = TrackJoin4().run(cluster, table_r, table_s, spec)
+        balanced = BalanceAwareTrackJoin(tolerance=0.0).run(
+            cluster, table_r, table_s, spec
+        )
+        assert_same_output(optimal, balanced)
+        assert (
+            balanced.node_balance()["receive_skew"]
+            <= optimal.node_balance()["receive_skew"] + 1e-9
+        )
+
+    def test_traffic_bounded_by_tolerance(self):
+        cluster = Cluster(6)
+        table_r, table_s = skewed_locality_tables(cluster)
+        spec = JoinSpec()
+        optimal = TrackJoin4().run(cluster, table_r, table_s, spec)
+        generous = BalanceAwareTrackJoin(tolerance=200.0).run(
+            cluster, table_r, table_s, spec
+        )
+        # Bounded extra traffic: at most tolerance per distinct key.
+        num_keys = len(np.union1d(table_r.all_keys(), table_s.all_keys()))
+        assert generous.network_bytes <= optimal.network_bytes + 200.0 * num_keys
+
+    def test_deterministic_given_seed(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        a = BalanceAwareTrackJoin(seed=5).run(small_cluster, table_r, table_s)
+        b = BalanceAwareTrackJoin(seed=5).run(small_cluster, table_r, table_s)
+        assert a.network_bytes == b.network_bytes
+        assert a.traffic.by_link == b.traffic.by_link

@@ -1,0 +1,76 @@
+"""Unit tests for the Bloom filter substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bloom import BloomFilter, optimal_bits_per_element, optimal_num_hashes
+
+
+class TestSizing:
+    def test_one_percent_is_about_ten_bits(self):
+        assert optimal_bits_per_element(0.01) == pytest.approx(9.585, abs=0.01)
+
+    def test_num_hashes(self):
+        assert optimal_num_hashes(9.585) == 7
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            optimal_bits_per_element(0.0)
+        with pytest.raises(ValueError):
+            optimal_bits_per_element(1.5)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 10**12, 5000)
+        bloom = BloomFilter.for_capacity(5000, 0.01)
+        bloom.add(keys)
+        assert bloom.contains(keys).all()
+
+    def test_false_positive_rate_near_target(self):
+        rng = np.random.default_rng(1)
+        members = rng.integers(0, 10**12, 10_000)
+        bloom = BloomFilter.for_capacity(10_000, 0.01)
+        bloom.add(members)
+        probes = rng.integers(10**13, 10**14, 50_000)
+        rate = bloom.contains(probes).mean()
+        assert rate < 0.03  # target 1%, generous bound
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter.for_capacity(100)
+        assert not bloom.contains(np.arange(1000)).any()
+
+    def test_union(self):
+        a = BloomFilter(1024, 3)
+        b = BloomFilter(1024, 3)
+        a.add(np.array([1, 2, 3]))
+        b.add(np.array([100, 200]))
+        merged = a.union(b)
+        assert merged.contains(np.array([1, 200])).all()
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BloomFilter(64, 2).union(BloomFilter(128, 2))
+
+    def test_wire_bytes(self):
+        assert BloomFilter(1024, 3).wire_bytes == 128.0
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01)
+        assert bloom.fill_ratio() == 0.0
+        bloom.add(np.arange(1000))
+        assert 0.2 < bloom.fill_ratio() < 0.7
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)
+
+    def test_add_empty(self):
+        bloom = BloomFilter(64, 2)
+        bloom.add(np.array([], dtype=np.int64))
+        assert bloom.fill_ratio() == 0.0

@@ -1,0 +1,65 @@
+"""Tests specific to the broadcast join baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BroadcastJoin, Cluster, GraceHashJoin, JoinSpec
+
+from conftest import assert_same_output, make_tables
+
+
+class TestBroadcastJoin:
+    def test_each_direction_moves_only_its_table(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        spec = JoinSpec()
+        for side, moved in (("R", table_r), ("S", table_s)):
+            result = BroadcastJoin(side).run(small_cluster, table_r, table_s, spec)
+            expected = (
+                moved.total_rows
+                * moved.schema.tuple_width(spec.encoding)
+                * (small_cluster.num_nodes - 1)
+            )
+            assert result.network_bytes == pytest.approx(expected)
+
+    def test_direction_asymmetry(self, small_cluster, small_tables):
+        """Broadcasting the smaller/narrower table is cheaper."""
+        table_r, table_s = small_tables  # S is bigger and wider
+        r_cast = BroadcastJoin("R").run(small_cluster, table_r, table_s)
+        s_cast = BroadcastJoin("S").run(small_cluster, table_r, table_s)
+        assert r_cast.network_bytes < s_cast.network_bytes
+        assert_same_output(r_cast, s_cast)
+
+    def test_cheapest_for_tiny_table(self):
+        """With a tiny R, broadcast beats hash join (the optimizer case)."""
+        cluster = Cluster(4)
+        table_r, table_s = make_tables(
+            cluster, np.arange(50), np.random.default_rng(0).integers(0, 50, 20_000)
+        )
+        broadcast = BroadcastJoin("R").run(cluster, table_r, table_s)
+        hashed = GraceHashJoin().run(cluster, table_r, table_s)
+        assert broadcast.network_bytes < hashed.network_bytes
+        assert_same_output(broadcast, hashed)
+
+    def test_output_distribution_follows_staying_table(self, small_cluster, small_tables):
+        """Results are produced where the non-broadcast side lives."""
+        table_r, table_s = small_tables
+        result = BroadcastJoin("R").run(small_cluster, table_r, table_s)
+        for node, partition in enumerate(result.output):
+            # Every output S rid must be a local S row of this node.
+            local_s_rids = set(table_s.partitions[node].columns["rid"].tolist())
+            assert set(partition.columns["s.rid"].tolist()) <= local_s_rids
+
+    def test_broadcast_traffic_independent_of_placement(self, small_cluster):
+        """Replication cost never depends on where tuples start."""
+        rng = np.random.default_rng(2)
+        keys_r = rng.integers(0, 300, 2000)
+        keys_s = rng.integers(0, 300, 3000)
+        results = []
+        for seed in (1, 2, 3):
+            table_r, table_s = make_tables(small_cluster, keys_r, keys_s, seed=seed)
+            results.append(
+                BroadcastJoin("R").run(small_cluster, table_r, table_s).network_bytes
+            )
+        assert results[0] == results[1] == results[2]

@@ -1,0 +1,141 @@
+"""Unit and property tests for the value encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (
+    DeltaEncoding,
+    DictionaryEncoding,
+    FixedByteEncoding,
+    PrefixCodec,
+    VarByteEncoding,
+    delta_encoded_size,
+    min_bits,
+    pack_bits,
+    prefix_partitioned_size,
+    unpack_bits,
+)
+from repro.storage import Column
+
+
+class TestFixedByte:
+    @pytest.mark.parametrize(
+        "bits,expected", [(1, 1), (8, 1), (9, 2), (16, 2), (17, 4), (30, 4), (33, 8), (64, 8)]
+    )
+    def test_column_width(self, bits, expected):
+        assert FixedByteEncoding().column_width_bytes(Column("c", bits=bits)) == expected
+
+    def test_char_column(self):
+        assert FixedByteEncoding().column_width_bytes(Column("c", char_length=23)) == 23
+
+    def test_roundtrip(self):
+        values = np.array([0, 1, 2**31 - 1], dtype=np.int64)
+        enc = FixedByteEncoding(value_bits=32)
+        assert np.array_equal(enc.decode(enc.encode(values), 3), values)
+
+
+class TestVarByte:
+    @pytest.mark.parametrize("digits,expected", [(1, 1), (2, 1), (3, 2), (9, 5), (12, 6)])
+    def test_column_width(self, digits, expected):
+        col = Column("c", bits=40, decimal_digits=digits)
+        assert VarByteEncoding().column_width_bytes(col) == expected
+
+    def test_wire_bytes_for_value(self):
+        assert VarByteEncoding.wire_bytes_for_value(7) == 1
+        assert VarByteEncoding.wire_bytes_for_value(99) == 1
+        assert VarByteEncoding.wire_bytes_for_value(100) == 2
+        assert VarByteEncoding.wire_bytes_for_value(123456) == 3
+
+    @given(st.lists(st.integers(0, 10**15), max_size=50))
+    def test_roundtrip(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        enc = VarByteEncoding()
+        assert np.array_equal(enc.decode(enc.encode(values), len(values)), values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VarByteEncoding().encode(np.array([-1]))
+
+
+class TestDictionary:
+    def test_min_bits(self):
+        assert min_bits(1) == 1
+        assert min_bits(2) == 1
+        assert min_bits(3) == 2
+        assert min_bits(256) == 8
+        assert min_bits(257) == 9
+
+    def test_column_width_fractional(self):
+        assert DictionaryEncoding().column_width_bytes(Column("c", bits=30)) == pytest.approx(
+            3.75
+        )
+
+    @given(st.lists(st.integers(-(10**9), 10**9), min_size=1, max_size=100))
+    def test_roundtrip(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        enc = DictionaryEncoding()
+        assert np.array_equal(enc.decode(enc.encode(values), len(values)), values)
+
+    @given(
+        st.integers(1, 63),
+        st.lists(st.integers(0, 2**40), min_size=0, max_size=64),
+    )
+    def test_pack_unpack_bits(self, bits, raw):
+        values = np.array([v % (2**bits) for v in raw], dtype=np.int64)
+        packed = pack_bits(values, bits)
+        assert len(packed) <= (len(values) * bits + 7) // 8 + 1
+        assert np.array_equal(unpack_bits(packed, bits, len(values)), values)
+
+
+class TestDelta:
+    def test_dense_keys_compress_to_one_byte_each(self):
+        keys = np.arange(1000, dtype=np.int64)
+        assert delta_encoded_size(keys) == 1000
+
+    def test_sparse_keys_cost_more(self):
+        keys = np.arange(0, 100_000_000, 100_000, dtype=np.int64)
+        assert delta_encoded_size(keys) > len(keys)
+
+    def test_empty(self):
+        assert delta_encoded_size(np.array([], dtype=np.int64)) == 0
+
+    @given(st.lists(st.integers(0, 2**40), max_size=100))
+    def test_roundtrip_sorted(self, raw):
+        values = np.array(sorted(raw), dtype=np.int64)
+        enc = DeltaEncoding()
+        decoded = enc.decode(enc.encode(values), len(values))
+        assert np.array_equal(decoded, values)
+
+    def test_order_insensitive_size(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 10**6, 500)
+        shuffled = keys.copy()
+        rng.shuffle(shuffled)
+        assert delta_encoded_size(keys) == delta_encoded_size(shuffled)
+
+
+class TestPrefix:
+    def test_size_decreases_with_shared_prefixes(self):
+        # Dense values share prefixes, so a prefix split saves bytes.
+        values = np.arange(4096, dtype=np.int64)
+        plain = prefix_partitioned_size(values, 32, 0)
+        split = prefix_partitioned_size(values, 32, 20)
+        assert split < plain
+
+    def test_invalid_prefix_bits(self):
+        with pytest.raises(ValueError):
+            prefix_partitioned_size(np.arange(4), 16, 20)
+
+    @given(st.lists(st.integers(0, 2**30 - 1), min_size=1, max_size=100))
+    def test_codec_roundtrip(self, raw):
+        values = np.array(raw, dtype=np.int64)
+        codec = PrefixCodec(value_bits=30, prefix_bits=12)
+        decoded = codec.decode(codec.encode(values))
+        assert np.array_equal(np.sort(decoded), np.sort(values))
+
+    def test_codec_validation(self):
+        with pytest.raises(ValueError):
+            PrefixCodec(value_bits=16, prefix_bits=16)

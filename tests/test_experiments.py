@@ -1,0 +1,174 @@
+"""Smoke and fidelity tests for the registered paper experiments.
+
+Full-size experiment runs live in ``benchmarks/``; here every
+experiment executes at a reduced scale to validate structure, and the
+cheap ones are checked against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, render, run_experiment
+from repro.experiments.figures import (
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+from repro.experiments.tables import run_table1, run_table2
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {f"fig{i}" for i in range(3, 12)} | {
+            "fig1-fig2",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFig1Fig2:
+    def test_exact_match(self):
+        result = run_experiment("fig1-fig2")
+        for group in result.groups:
+            for row in group.rows:
+                assert row.measured == row.paper, f"{group.label}/{row.label}"
+
+
+class TestFig3Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(scaled_tuples=40_000)
+
+    def test_broadcast_matches_paper(self, result):
+        for group in result.groups:
+            for label in ("BJ-R", "BJ-S"):
+                row = result.row(group.label, label)
+                assert row.measured == pytest.approx(row.paper, rel=0.02)
+
+    def test_track_join_beats_hash_join_with_wide_payloads(self, result):
+        group = "R width = 20 B, S width = 60 B"
+        assert result.measured(group, "2TJ-R") < result.measured(group, "HJ")
+        assert result.measured(group, "4TJ") < result.measured(group, "HJ")
+
+    def test_equal_widths_narrow_margin(self, result):
+        """At 60/60 the width rule 2*wk <= max(w) still barely holds."""
+        group = "R width = 60 B, S width = 60 B"
+        assert result.measured(group, "4TJ") < result.measured(group, "HJ")
+
+    def test_two_phase_directions_ordered_by_width(self, result):
+        group = "R width = 20 B, S width = 60 B"
+        assert result.measured(group, "2TJ-R") < result.measured(group, "2TJ-S")
+
+
+class TestLocalityFigures:
+    def test_fig4_collocation_gradient(self):
+        result = run_fig4(scaled_keys=20_000)
+        tj = [result.measured(g.label, "4TJ") for g in result.groups]
+        # Traffic grows as collocation degrades: 5,0,0 < 2,2,1 < 1,1,1,1,1.
+        assert tj[0] < tj[1] < tj[2]
+
+    def test_fig5_vs_fig6_inter_collocation_helps(self):
+        intra = run_fig5(scaled_keys=8_000)
+        inter = run_fig6(scaled_keys=8_000)
+        for pattern_index in range(3):
+            g_intra = intra.groups[pattern_index]
+            g_inter = inter.groups[pattern_index]
+            assert inter.measured(g_inter.label, "4TJ") <= intra.measured(
+                g_intra.label, "4TJ"
+            )
+
+    def test_fig6_full_collocation_eliminates_payloads(self):
+        result = run_fig6(scaled_keys=8_000)
+        row = result.row("Pattern: 5,0,...", "4TJ")
+        assert row.breakdown["R Tuples"] == 0.0
+        assert row.breakdown["S Tuples"] == 0.0
+
+
+class TestWorkloadFigures:
+    def test_fig9_reductions_close_to_paper(self):
+        result = run_fig9(scale_denominator=2048)
+        for group in result.groups:
+            row = result.row(group.label, "traffic reduction (%)")
+            assert row.measured == pytest.approx(row.paper, abs=8.0), group.label
+
+    def test_fig10_track_join_wins_with_locality(self):
+        result = run_fig10(scale_denominator=512)
+        group = result.groups[0].label
+        assert result.measured(group, "4TJ") < 0.5 * result.measured(group, "HJ")
+
+    def test_fig11_shuffled_shape(self):
+        """2TJ-S prohibitive, 2TJ-R ~3x HJ, 4TJ below HJ (Figure 11)."""
+        result = run_fig11(scale_denominator=512)
+        group = result.groups[0].label
+        hj = result.measured(group, "HJ")
+        assert result.measured(group, "2TJ-S") > 3 * hj
+        assert 1.5 * hj < result.measured(group, "2TJ-R") < 4 * hj
+        assert result.measured(group, "4TJ") < hj
+
+
+class TestTables:
+    def test_table1_fidelity(self):
+        result = run_table1(scale_denominator=1024)
+        for group in result.groups:
+            for row in group.rows:
+                assert row.measured == pytest.approx(row.paper, rel=0.05), (
+                    f"{group.label}/{row.label}"
+                )
+
+    def test_table2_within_factor_two(self):
+        result = run_table2(scale_x=2048, scale_y=512)
+        for group in result.groups:
+            if "projection" in group.label:
+                continue
+            for row in group.rows:
+                assert row.ratio is not None
+                assert 0.5 < row.ratio < 2.0, f"{group.label}/{row.label}: {row.ratio}"
+
+    def test_render_produces_report(self):
+        result = run_table1(scale_denominator=2048)
+        text = render(result)
+        assert "table1" in text
+        assert "measured" in text and "paper" in text
+
+
+class TestMarkdownGeneration:
+    def test_generate_reports_small(self):
+        from repro.experiments.markdown import generate_reports
+
+        text = generate_reports(
+            {
+                "fig3": {"scaled_tuples": 20_000},
+                "fig4": {"scaled_keys": 5_000},
+                "fig5": {"scaled_keys": 4_000},
+                "fig6": {"scaled_keys": 4_000},
+                "fig7": {"scale_denominator": 8192},
+                "fig8": {"scale_denominator": 8192},
+                "fig9": {"scale_denominator": 8192},
+                "fig10": {"scale_denominator": 2048},
+                "fig11": {"scale_denominator": 2048},
+                "table1": {"scale_denominator": 4096},
+                "table2": {"scale_x": 8192, "scale_y": 2048},
+                "table3": {"scale_x": 8192, "scale_y": 2048},
+                "table4": {"scale_x": 8192, "scale_y": 2048},
+            }
+        )
+        for experiment_id in ("fig3", "fig9", "table2", "table4"):
+            assert f"== {experiment_id}:" in text
+
+    def test_document_params_cover_registry(self):
+        from repro.experiments import EXPERIMENTS
+        from repro.experiments.markdown import DOCUMENT_PARAMS
+
+        assert set(DOCUMENT_PARAMS) <= set(EXPERIMENTS)

@@ -1,0 +1,79 @@
+"""Tests specific to the Grace hash join baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GraceHashJoin, JoinSpec, Schema
+from repro.cluster import MessageClass
+from repro.storage import by_key_hash
+
+from conftest import make_tables
+
+
+class TestRepartitioning:
+    def test_equal_keys_meet_at_one_node(self, small_cluster):
+        """After repartitioning, every key lives at exactly hash(k) % N."""
+        table_r, table_s = make_tables(
+            small_cluster, np.arange(1000), np.arange(1000)
+        )
+        result = GraceHashJoin().run(small_cluster, table_r, table_s)
+        assert result.output_rows == 1000
+        # Each output row was produced at its key's hash node: outputs
+        # grouped per node must partition the key space consistently.
+        for node, partition in enumerate(result.output):
+            if partition.num_rows == 0:
+                continue
+            expected = by_key_hash(partition.keys, small_cluster.num_nodes, seed=0)
+            assert (expected == node).all()
+
+    def test_prehashed_placement_is_free(self):
+        """Tables already placed by the join hash move nothing."""
+        cluster = Cluster(4)
+        keys = np.arange(2000, dtype=np.int64)
+        nodes = by_key_hash(keys, 4, seed=0)
+        schema = Schema.with_widths(32, 64)
+        table_r = cluster.table_from_assignment("R", schema, keys, nodes)
+        table_s = cluster.table_from_assignment("S", schema, keys, nodes)
+        result = GraceHashJoin().run(cluster, table_r, table_s, JoinSpec(hash_seed=0))
+        assert result.network_bytes == 0.0
+        assert result.traffic.local_bytes > 0.0
+
+    def test_hash_seed_changes_destinations(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        a = GraceHashJoin().run(small_cluster, table_r, table_s, JoinSpec(hash_seed=0))
+        b = GraceHashJoin().run(small_cluster, table_r, table_s, JoinSpec(hash_seed=9))
+        # Same totals (uniform hashing) but different link usage.
+        assert a.network_bytes == pytest.approx(b.network_bytes, rel=0.05)
+        assert a.traffic.by_link != b.traffic.by_link
+
+    def test_profile_step_names_match_table3(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        result = GraceHashJoin().run(small_cluster, table_r, table_s)
+        names = [step.name for step in result.profile.steps]
+        for expected in (
+            "Hash partition R tuples",
+            "Hash partition S tuples",
+            "Transfer R tuples",
+            "Transfer S tuples",
+            "Sort received R tuples",
+            "Sort received S tuples",
+            "Final merge-join",
+        ):
+            assert expected in names, expected
+
+    def test_traffic_ledger_matches_profile(self, small_cluster, small_tables):
+        """The ledger's remote bytes equal the profile's NET step bytes."""
+        table_r, table_s = small_tables
+        result = GraceHashJoin().run(small_cluster, table_r, table_s)
+        assert result.profile.total_network_bytes() == pytest.approx(
+            result.network_bytes
+        )
+
+    def test_only_tuple_classes_used(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        result = GraceHashJoin().run(small_cluster, table_r, table_s)
+        assert result.class_bytes(MessageClass.KEYS_COUNTS) == 0.0
+        assert result.class_bytes(MessageClass.KEYS_NODES) == 0.0
+        assert result.class_bytes(MessageClass.RIDS) == 0.0

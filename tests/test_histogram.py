@@ -1,0 +1,113 @@
+"""Tests for catalog synopses: equi-depth histograms and distinct sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster
+from repro.costmodel import choose_algorithm
+from repro.costmodel.histogram import (
+    KeyHistogram,
+    estimate_distinct,
+    stats_from_histograms,
+)
+from repro.errors import CostModelError
+
+from conftest import make_tables
+
+
+class TestDistinctSketch:
+    def test_empty(self):
+        assert estimate_distinct(np.array([], dtype=np.int64)) == 0.0
+
+    @pytest.mark.parametrize("true_distinct", [100, 5_000, 100_000])
+    def test_within_ten_percent(self, true_distinct):
+        rng = np.random.default_rng(true_distinct)
+        values = rng.choice(
+            rng.integers(0, 2**50, true_distinct), size=true_distinct * 3
+        )
+        estimate = estimate_distinct(values)
+        assert estimate == pytest.approx(len(np.unique(values)), rel=0.10)
+
+    def test_repetition_invariant(self):
+        base = np.arange(2_000, dtype=np.int64)
+        once = estimate_distinct(base)
+        repeated = estimate_distinct(np.repeat(base, 10))
+        assert once == pytest.approx(repeated)
+
+
+class TestKeyHistogram:
+    def test_counts_cover_all_rows(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 10_000, 50_000)
+        hist = KeyHistogram.build(keys, num_buckets=16)
+        assert hist.counts.sum() == 50_000
+        assert hist.total == 50_000
+
+    def test_equi_depth_buckets(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 10**6, 64_000)
+        hist = KeyHistogram.build(keys, num_buckets=16)
+        # Quantile boundaries: every bucket within 2x of the mean depth.
+        mean = hist.counts.mean()
+        assert hist.counts.max() < 2 * mean
+
+    def test_empty_keys(self):
+        hist = KeyHistogram.build(np.array([], dtype=np.int64))
+        assert hist.total == 0
+        assert hist.distinct == 0.0
+
+    def test_single_value_column(self):
+        hist = KeyHistogram.build(np.full(100, 7, dtype=np.int64))
+        assert hist.counts.sum() == 100
+
+    def test_invalid_buckets(self):
+        with pytest.raises(CostModelError):
+            KeyHistogram.build(np.array([1]), num_buckets=0)
+
+    def test_overlap_disjoint_ranges(self):
+        a = KeyHistogram.build(np.arange(0, 1000))
+        b = KeyHistogram.build(np.arange(5000, 6000))
+        assert a.overlap_fraction(b) == pytest.approx(0.0, abs=0.02)
+
+    def test_overlap_identical_ranges(self):
+        a = KeyHistogram.build(np.arange(0, 1000))
+        b = KeyHistogram.build(np.arange(0, 1000))
+        assert a.overlap_fraction(b) == pytest.approx(1.0, abs=0.05)
+
+    def test_overlap_partial(self):
+        a = KeyHistogram.build(np.arange(0, 1000))
+        b = KeyHistogram.build(np.arange(500, 1500))
+        assert a.overlap_fraction(b) == pytest.approx(0.5, abs=0.1)
+
+
+class TestStatsFromHistograms:
+    def test_optimizer_runs_from_synopses(self):
+        cluster = Cluster(8)
+        rng = np.random.default_rng(3)
+        table_r, table_s = make_tables(
+            cluster,
+            rng.integers(0, 40_000, 40_000),
+            rng.integers(20_000, 60_000, 40_000),
+            payload_bits_r=64,
+            payload_bits_s=448,
+        )
+        hist_r = KeyHistogram.of_table(table_r)
+        hist_s = KeyHistogram.of_table(table_s)
+        stats = stats_from_histograms(
+            hist_r, hist_s, num_nodes=8, key_width=4, payload_r=8, payload_s=56
+        )
+        assert stats.tuples_r == 40_000
+        assert 0.3 < stats.selectivity_r < 0.7  # half the range overlaps
+        choice = choose_algorithm(stats)
+        assert choice.algorithm in {"2TJ-R", "2TJ-S", "3TJ", "4TJ", "HJ"}
+
+    def test_distinct_estimates_feed_stats(self):
+        hist_r = KeyHistogram.build(np.repeat(np.arange(500), 10))
+        hist_s = KeyHistogram.build(np.arange(5000))
+        stats = stats_from_histograms(
+            hist_r, hist_s, num_nodes=4, key_width=4, payload_r=8, payload_s=8
+        )
+        assert stats.distinct_r == pytest.approx(500, rel=0.15)
+        assert stats.distinct_s == pytest.approx(5000, rel=0.15)

@@ -1,0 +1,245 @@
+"""Integration tests: every distributed join produces the same output.
+
+This is the central correctness property of the library — broadcast,
+Grace hash, rid-based, Bloom-filtered, and all track join variants are
+different *transfer strategies* for the same equi-join, so their output
+multisets must be identical on every input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BroadcastJoin,
+    Cluster,
+    GraceHashJoin,
+    JoinSpec,
+    TrackJoin2,
+    TrackJoin3,
+    TrackJoin4,
+)
+from repro.cluster.network import MessageClass
+from repro.errors import JoinConfigError
+from repro.joins import (
+    LateMaterializationHashJoin,
+    SemiJoinFilteredJoin,
+    TrackingAwareHashJoin,
+)
+
+from conftest import assert_same_output, canonical_output, make_tables
+
+
+def all_algorithms():
+    return [
+        GraceHashJoin(),
+        BroadcastJoin("R"),
+        BroadcastJoin("S"),
+        TrackJoin2("RS"),
+        TrackJoin2("SR"),
+        TrackJoin3(),
+        TrackJoin4(),
+        LateMaterializationHashJoin(),
+        TrackingAwareHashJoin(),
+        SemiJoinFilteredJoin(GraceHashJoin()),
+        SemiJoinFilteredJoin(TrackJoin4()),
+    ]
+
+
+class TestOutputEquality:
+    def test_all_algorithms_agree(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        reference = GraceHashJoin().run(small_cluster, table_r, table_s)
+        for algorithm in all_algorithms()[1:]:
+            result = algorithm.run(small_cluster, table_r, table_s)
+            assert_same_output(reference, result)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=0, max_size=120),
+        st.lists(st.integers(0, 30), min_size=0, max_size=120),
+        st.integers(2, 6),
+        st.integers(0, 100),
+    )
+    def test_random_inputs_agree(self, keys_r, keys_s, num_nodes, seed):
+        cluster = Cluster(num_nodes)
+        table_r, table_s = make_tables(
+            cluster, np.array(keys_r, dtype=np.int64), np.array(keys_s, dtype=np.int64),
+            seed=seed,
+        )
+        results = [
+            algorithm.run(cluster, table_r, table_s)
+            for algorithm in (
+                GraceHashJoin(),
+                TrackJoin2("RS"),
+                TrackJoin2("SR"),
+                TrackJoin3(),
+                TrackJoin4(),
+                TrackingAwareHashJoin(),
+            )
+        ]
+        for other in results[1:]:
+            assert_same_output(results[0], other)
+
+    def test_empty_inputs(self, small_cluster):
+        table_r, table_s = make_tables(
+            small_cluster, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        for algorithm in all_algorithms():
+            result = algorithm.run(small_cluster, table_r, table_s)
+            assert result.output_rows == 0
+
+    def test_disjoint_keys(self, small_cluster):
+        table_r, table_s = make_tables(
+            small_cluster, np.arange(0, 100), np.arange(1000, 1100)
+        )
+        for algorithm in all_algorithms():
+            assert algorithm.run(small_cluster, table_r, table_s).output_rows == 0
+
+    def test_skewed_single_key(self, small_cluster):
+        """One hot key repeated on both sides exercises cartesian output."""
+        table_r, table_s = make_tables(
+            small_cluster, np.zeros(50, dtype=np.int64), np.zeros(40, dtype=np.int64)
+        )
+        reference = GraceHashJoin().run(small_cluster, table_r, table_s)
+        assert reference.output_rows == 2000
+        for algorithm in (TrackJoin3(), TrackJoin4(), TrackingAwareHashJoin()):
+            assert_same_output(reference, algorithm.run(small_cluster, table_r, table_s))
+
+    def test_single_node_cluster(self):
+        cluster = Cluster(1)
+        table_r, table_s = make_tables(
+            cluster, np.array([1, 2, 2]), np.array([2, 3])
+        )
+        for algorithm in all_algorithms():
+            result = algorithm.run(cluster, table_r, table_s)
+            assert result.output_rows == 2
+            assert result.network_bytes == 0.0, algorithm.name
+
+
+class TestTrafficInvariants:
+    def test_single_node_no_traffic(self):
+        cluster = Cluster(1)
+        table_r, table_s = make_tables(cluster, np.arange(100), np.arange(100))
+        result = TrackJoin4().run(cluster, table_r, table_s)
+        assert result.network_bytes == 0.0
+
+    def test_hash_join_moves_most_tuples(self, small_cluster, small_tables):
+        """Grace hash join moves ~(1 - 1/N) of both tables."""
+        table_r, table_s = small_tables
+        spec = JoinSpec()
+        result = GraceHashJoin().run(small_cluster, table_r, table_s, spec)
+        expected = 0.75 * (
+            table_r.total_rows * table_r.schema.tuple_width(spec.encoding)
+            + table_s.total_rows * table_s.schema.tuple_width(spec.encoding)
+        )
+        moved = result.class_bytes(MessageClass.R_TUPLES) + result.class_bytes(
+            MessageClass.S_TUPLES
+        )
+        assert moved == pytest.approx(expected, rel=0.1)
+
+    def test_broadcast_replicates_table(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        spec = JoinSpec()
+        result = BroadcastJoin("R").run(small_cluster, table_r, table_s, spec)
+        expected = (
+            table_r.total_rows
+            * table_r.schema.tuple_width(spec.encoding)
+            * (small_cluster.num_nodes - 1)
+        )
+        assert result.class_bytes(MessageClass.R_TUPLES) == pytest.approx(expected)
+        assert result.class_bytes(MessageClass.S_TUPLES) == 0.0
+
+    def test_track_join_payload_never_exceeds_simple_variants(self, small_cluster):
+        """4TJ payload traffic <= each 2TJ direction and 3TJ (optimality)."""
+        rng = np.random.default_rng(3)
+        table_r, table_s = make_tables(
+            small_cluster,
+            rng.integers(0, 150, 1200),
+            rng.integers(50, 250, 1800),
+            seed=5,
+        )
+        spec = JoinSpec()
+
+        def payload_bytes(result):
+            return result.class_bytes(MessageClass.R_TUPLES) + result.class_bytes(
+                MessageClass.S_TUPLES
+            )
+
+        four = payload_bytes(TrackJoin4().run(small_cluster, table_r, table_s, spec))
+        for simpler in (TrackJoin2("RS"), TrackJoin2("SR"), TrackJoin3()):
+            other = payload_bytes(simpler.run(small_cluster, table_r, table_s, spec))
+            assert four <= other + 1e-6, simpler.name
+
+    def test_perfect_collocation_no_payload_traffic(self):
+        """Matching tuples all on the same node: 4TJ ships no payloads."""
+        cluster = Cluster(4)
+        keys = np.arange(400, dtype=np.int64)
+        from repro.storage import by_key_hash, Schema
+
+        nodes = by_key_hash(keys, 4, seed=99)
+        schema = Schema.with_widths(32, 64)
+        table_r = cluster.table_from_assignment("R", schema, keys, nodes)
+        table_s = cluster.table_from_assignment("S", schema, keys, nodes)
+        result = TrackJoin4().run(cluster, table_r, table_s)
+        assert result.class_bytes(MessageClass.R_TUPLES) == 0.0
+        assert result.class_bytes(MessageClass.S_TUPLES) == 0.0
+        assert result.output_rows == 400
+
+    def test_traffic_scales_linearly(self):
+        """Doubling table size ~doubles every algorithm's traffic."""
+        for algorithm_factory in (GraceHashJoin, TrackJoin4):
+            totals = []
+            for size in (2000, 4000):
+                cluster = Cluster(4)
+                rng = np.random.default_rng(11)
+                table_r, table_s = make_tables(
+                    cluster,
+                    rng.integers(0, size // 2, size),
+                    rng.integers(0, size // 2, size),
+                    seed=1,
+                )
+                result = algorithm_factory().run(cluster, table_r, table_s)
+                totals.append(result.network_bytes)
+            assert totals[1] == pytest.approx(2 * totals[0], rel=0.05)
+
+    def test_no_pending_messages_after_join(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        for algorithm in all_algorithms():
+            algorithm.run(small_cluster, table_r, table_s)
+            assert small_cluster.network.pending_messages() == 0
+
+
+class TestJoinConfig:
+    def test_wrong_cluster_size_rejected(self, small_tables):
+        table_r, table_s = small_tables
+        other = Cluster(7)
+        with pytest.raises(JoinConfigError):
+            GraceHashJoin().run(other, table_r, table_s)
+
+    def test_materialize_false_keeps_counts(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        spec = JoinSpec(materialize=False)
+        lean = GraceHashJoin().run(small_cluster, table_r, table_s, spec)
+        full = GraceHashJoin().run(small_cluster, table_r, table_s)
+        assert lean.output is None
+        assert lean.output_rows == full.output_rows
+        with pytest.raises(JoinConfigError):
+            lean.gathered_output()
+
+    def test_invalid_broadcast_side(self):
+        with pytest.raises(ValueError):
+            BroadcastJoin("X")
+
+    def test_invalid_track2_direction(self):
+        with pytest.raises(ValueError):
+            TrackJoin2("XY")
+
+    def test_node_balance_diagnostics(self, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        result = GraceHashJoin().run(small_cluster, table_r, table_s)
+        balance = result.node_balance()
+        assert balance["send_skew"] >= 1.0
+        assert balance["max_sent"] >= balance["mean_sent"]

@@ -1,0 +1,80 @@
+"""Tests for the vectorized hash table and hash-based local join."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.joins.local import join_indices
+from repro.joins.local_hash import HashTable, hash_join_indices
+
+
+class TestHashTable:
+    def test_build_and_probe_unique(self):
+        keys = np.array([10, 20, 30, 40])
+        table = HashTable(keys)
+        first = table.probe_first(np.array([30, 10, 99]))
+        assert first[0] == 2 and first[1] == 0 and first[2] == -1
+
+    def test_duplicates_chain_completely(self):
+        keys = np.array([5, 5, 5, 7])
+        table = HashTable(keys)
+        first = int(table.probe_first(np.array([5]))[0])
+        assert sorted(table.matches_of(first)) == [0, 1, 2]
+
+    def test_empty_build(self):
+        table = HashTable(np.array([], dtype=np.int64))
+        assert (table.probe_first(np.array([1, 2])) == -1).all()
+
+    def test_capacity_power_of_two(self):
+        table = HashTable(np.arange(100))
+        assert table.capacity & (table.capacity - 1) == 0
+        assert table.capacity >= 200  # load factor 0.5
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ValueError):
+            HashTable(np.array([1]), load_factor=1.5)
+
+    def test_adversarial_same_slot_keys(self):
+        """Many distinct keys forced through collisions still resolve."""
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**40, 5000)
+        table = HashTable(keys, load_factor=0.9)  # high collision pressure
+        first = table.probe_first(keys)
+        assert (first != -1).all()
+        for probe in range(0, 5000, 500):
+            chain = table.matches_of(int(first[probe]))
+            expected = np.flatnonzero(keys == keys[probe]).tolist()
+            assert sorted(chain) == expected
+
+
+class TestHashJoinIndices:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 15), max_size=60),
+        st.lists(st.integers(0, 15), max_size=60),
+    )
+    def test_matches_sort_merge_kernel(self, left_raw, right_raw):
+        left = np.array(left_raw, dtype=np.int64)
+        right = np.array(right_raw, dtype=np.int64)
+        li_h, ri_h = hash_join_indices(left, right)
+        li_s, ri_s = join_indices(left, right)
+        assert sorted(zip(li_h.tolist(), ri_h.tolist())) == sorted(
+            zip(li_s.tolist(), ri_s.tolist())
+        )
+
+    def test_large_random(self):
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 5000, 20_000)
+        right = rng.integers(0, 5000, 30_000)
+        li_h, ri_h = hash_join_indices(left, right)
+        li_s, _ = join_indices(left, right)
+        assert len(li_h) == len(li_s)
+        assert (left[li_h] == right[ri_h]).all()
+
+    def test_empty_sides(self):
+        li, ri = hash_join_indices(np.array([], dtype=np.int64), np.array([1]))
+        assert len(li) == 0
+        li, ri = hash_join_indices(np.array([1]), np.array([], dtype=np.int64))
+        assert len(li) == 0

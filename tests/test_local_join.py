@@ -1,0 +1,92 @@
+"""Unit and property tests for the node-local join kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.joins.local import (
+    distinct_with_counts,
+    join_indices,
+    join_cardinality,
+    local_join,
+    match_mask,
+)
+from repro.storage import LocalPartition
+
+
+def brute_force_pairs(keys_left, keys_right):
+    return sorted(
+        (i, j)
+        for i in range(len(keys_left))
+        for j in range(len(keys_right))
+        if keys_left[i] == keys_right[j]
+    )
+
+
+class TestJoinIndices:
+    def test_basic(self):
+        left = np.array([1, 2, 2, 3])
+        right = np.array([2, 2, 4])
+        li, ri = join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_empty_sides(self):
+        li, ri = join_indices(np.array([], dtype=np.int64), np.array([1, 2]))
+        assert len(li) == 0
+        li, ri = join_indices(np.array([1]), np.array([], dtype=np.int64))
+        assert len(li) == 0
+
+    def test_no_matches(self):
+        li, ri = join_indices(np.array([1, 2]), np.array([3, 4]))
+        assert len(li) == 0 and len(ri) == 0
+
+    @given(
+        st.lists(st.integers(0, 8), max_size=30),
+        st.lists(st.integers(0, 8), max_size=30),
+    )
+    def test_matches_bruteforce(self, left_raw, right_raw):
+        left = np.array(left_raw, dtype=np.int64)
+        right = np.array(right_raw, dtype=np.int64)
+        li, ri = join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == brute_force_pairs(left_raw, right_raw)
+
+    @given(
+        st.lists(st.integers(0, 20), max_size=50),
+        st.lists(st.integers(0, 20), max_size=50),
+    )
+    def test_cardinality_matches_indices(self, left_raw, right_raw):
+        left = np.array(left_raw, dtype=np.int64)
+        right = np.array(right_raw, dtype=np.int64)
+        li, _ = join_indices(left, right)
+        assert join_cardinality(left, right) == len(li)
+
+
+class TestLocalJoin:
+    def test_prefixes_and_payloads(self):
+        left = LocalPartition(keys=np.array([1, 2]), columns={"v": np.array([10, 20])})
+        right = LocalPartition(keys=np.array([2, 2]), columns={"v": np.array([5, 6])})
+        joined = local_join(left, right)
+        assert set(joined.columns) == {"r.v", "s.v"}
+        assert np.array_equal(np.sort(joined.columns["s.v"]), [5, 6])
+        assert np.all(joined.columns["r.v"] == 20)
+        assert np.all(joined.keys == 2)
+
+    def test_cartesian_expansion(self):
+        left = LocalPartition(keys=np.array([7, 7, 7]), columns={})
+        right = LocalPartition(keys=np.array([7, 7]), columns={})
+        assert local_join(left, right).num_rows == 6
+
+
+class TestHelpers:
+    def test_distinct_with_counts(self):
+        keys, counts = distinct_with_counts(np.array([3, 1, 3, 3, 1]))
+        assert np.array_equal(keys, [1, 3])
+        assert np.array_equal(counts, [2, 3])
+
+    def test_match_mask(self):
+        mask = match_mask(np.array([1, 5, 9]), np.array([5, 6]))
+        assert mask.tolist() == [False, True, False]
+
+    def test_match_mask_empty_probe(self):
+        assert not match_mask(np.array([1, 2]), np.array([], dtype=np.int64)).any()

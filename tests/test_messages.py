@@ -1,0 +1,46 @@
+"""Tests for track join metadata message sizing (Section 2.4 options)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.messages import location_message_bytes, tracking_message_bytes
+
+
+class TestTrackingMessages:
+    def test_plain_size(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert tracking_message_bytes(keys, key_width=4.0, count_width=1.0) == 500.0
+
+    def test_without_counts(self):
+        keys = np.arange(10, dtype=np.int64)
+        assert tracking_message_bytes(keys, 4.0, 0.0) == 40.0
+
+    def test_delta_keys_dense(self):
+        """Dense key runs delta-compress to ~1 byte per key."""
+        keys = np.arange(1000, dtype=np.int64)
+        size = tracking_message_bytes(keys, 4.0, 1.0, delta_keys=True)
+        assert size == pytest.approx(1000 + 1000)  # 1 B delta + 1 B count
+
+    def test_delta_never_reported_for_empty(self):
+        empty = np.array([], dtype=np.int64)
+        assert tracking_message_bytes(empty, 4.0, 1.0, delta_keys=True) == 0.0
+
+
+class TestLocationMessages:
+    def test_plain_repeats_node_per_key(self):
+        assert location_message_bytes(10, 3, key_width=4.0, location_width=1.0) == 50.0
+
+    def test_grouped_pays_node_once_per_destination(self):
+        grouped = location_message_bytes(
+            10, 3, key_width=4.0, location_width=1.0, group_by_node=True
+        )
+        assert grouped == 43.0
+
+    def test_grouped_never_larger(self):
+        for pairs in (1, 5, 100):
+            for distinct in (1, min(pairs, 7)):
+                plain = location_message_bytes(pairs, distinct, 4.0, 1.0)
+                grouped = location_message_bytes(pairs, distinct, 4.0, 1.0, True)
+                assert grouped <= plain

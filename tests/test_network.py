@@ -1,0 +1,96 @@
+"""Unit tests for the network fabric and traffic ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import Message, MessageClass, Network, TrafficLedger
+from repro.errors import NetworkError
+
+
+class TestTrafficLedger:
+    def test_remote_message_accounted(self):
+        ledger = TrafficLedger()
+        ledger.record(Message(0, 1, MessageClass.R_TUPLES, 100.0, None))
+        assert ledger.total_bytes == 100.0
+        assert ledger.class_bytes(MessageClass.R_TUPLES) == 100.0
+        assert ledger.by_link[(0, 1)] == 100.0
+        assert ledger.sent_by_node[0] == 100.0
+        assert ledger.received_by_node[1] == 100.0
+        assert ledger.local_bytes == 0.0
+
+    def test_local_message_not_network_traffic(self):
+        ledger = TrafficLedger()
+        ledger.record(Message(2, 2, MessageClass.S_TUPLES, 50.0, None))
+        assert ledger.total_bytes == 0.0
+        assert ledger.local_bytes == 50.0
+        assert ledger.message_count == 1
+
+    def test_breakdown_covers_all_classes(self):
+        ledger = TrafficLedger()
+        ledger.record(Message(0, 1, MessageClass.KEYS_COUNTS, 10.0, None))
+        breakdown = ledger.breakdown()
+        assert set(breakdown) == {c.value for c in MessageClass}
+        assert breakdown["keys_counts"] == 10.0
+        assert breakdown["r_tuples"] == 0.0
+
+    def test_merged_with(self):
+        a = TrafficLedger()
+        b = TrafficLedger()
+        a.record(Message(0, 1, MessageClass.R_TUPLES, 10.0, None))
+        b.record(Message(1, 0, MessageClass.R_TUPLES, 5.0, None))
+        merged = a.merged_with(b)
+        assert merged.total_bytes == 15.0
+        assert merged.message_count == 2
+        # Originals untouched.
+        assert a.total_bytes == 10.0
+
+
+class TestNetwork:
+    def test_send_and_deliver(self):
+        net = Network(3)
+        net.send(0, 2, MessageClass.R_TUPLES, 42.0, payload="hello")
+        assert net.pending_messages() == 1
+        messages = net.deliver(2)
+        assert len(messages) == 1
+        assert messages[0].payload == "hello"
+        assert net.pending_messages() == 0
+
+    def test_deliver_all(self):
+        net = Network(3)
+        net.send(0, 1, MessageClass.R_TUPLES, 1.0)
+        net.send(0, 2, MessageClass.R_TUPLES, 1.0)
+        delivered = dict(net.deliver_all())
+        assert set(delivered) == {1, 2}
+
+    def test_invalid_node_rejected(self):
+        net = Network(2)
+        with pytest.raises(NetworkError):
+            net.send(0, 5, MessageClass.R_TUPLES, 1.0)
+        with pytest.raises(NetworkError):
+            net.send(-1, 0, MessageClass.R_TUPLES, 1.0)
+        with pytest.raises(NetworkError):
+            net.deliver(3)
+
+    def test_negative_bytes_rejected(self):
+        net = Network(2)
+        with pytest.raises(NetworkError):
+            net.send(0, 1, MessageClass.R_TUPLES, -1.0)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(0)
+
+    def test_reset_ledger(self):
+        net = Network(2)
+        net.send(0, 1, MessageClass.R_TUPLES, 9.0)
+        old = net.reset_ledger()
+        assert old.total_bytes == 9.0
+        assert net.ledger.total_bytes == 0.0
+
+    def test_fractional_bytes(self):
+        """Dictionary encodings produce sub-byte widths; they must add up."""
+        net = Network(2)
+        for _ in range(8):
+            net.send(0, 1, MessageClass.KEYS_COUNTS, 30 / 8)
+        assert net.ledger.total_bytes == pytest.approx(30.0)

@@ -1,0 +1,54 @@
+"""Tests for the MSB radix sort kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.joins.radix import msb_byte_histogram, radix_argsort, radix_sort
+
+
+class TestRadixSort:
+    def test_empty(self):
+        assert len(radix_argsort(np.array([], dtype=np.int64))) == 0
+
+    def test_small_array(self):
+        keys = np.array([5, 1, 9, 1, 3])
+        assert radix_sort(keys).tolist() == [1, 1, 3, 5, 9]
+
+    def test_large_random(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(-(2**62), 2**62, 50_000)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_argsort_is_permutation(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1000, 5000)
+        order = radix_argsort(keys)
+        assert np.array_equal(np.sort(order), np.arange(5000))
+
+    def test_stability_on_equal_keys(self):
+        """Equal keys keep input order (stable like the numpy fallback)."""
+        keys = np.array([7, 7, 7, 7])
+        assert radix_argsort(keys).tolist() == [0, 1, 2, 3]
+
+    def test_negative_values(self):
+        keys = np.array([5, -3, 0, -(2**60), 2**60])
+        assert radix_sort(keys).tolist() == sorted(keys.tolist())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.integers(-(2**63), 2**63 - 1), min_size=0, max_size=300
+        )
+    )
+    def test_matches_numpy_sort(self, raw):
+        keys = np.array(raw, dtype=np.int64)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_histogram(self):
+        keys = np.zeros(10, dtype=np.int64)  # sign-flipped MSB = 0x80
+        hist = msb_byte_histogram(keys, 56)
+        assert hist[0x80] == 10
+        assert hist.sum() == 10

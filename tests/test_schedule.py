@@ -1,0 +1,314 @@
+"""Tests for per-key schedule generation: paper examples, optimality
+(Theorems 1-2) against brute force, and vectorized/scalar agreement."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedule import (
+    generate_schedules,
+    migrate_and_broadcast,
+    optimal_schedule,
+    selective_broadcast_cost,
+)
+from repro.core.tracking import TrackingTable
+from repro.errors import ScheduleError
+from repro.util import segment_boundaries
+
+
+class TestPaperExamples:
+    """The worked examples of Figures 1 and 2 (M = 0)."""
+
+    R1 = {0: 2.0, 2: 4.0}
+    S1 = {1: 3.0, 3: 1.0}
+
+    def test_figure1_two_phase(self):
+        assert selective_broadcast_cost(self.R1, self.S1, scheduler_node=4) == 12
+
+    def test_figure1_three_phase(self):
+        assert selective_broadcast_cost(self.S1, self.R1, scheduler_node=4) == 8
+
+    def test_figure1_four_phase(self):
+        schedule = optimal_schedule(self.R1, self.S1, scheduler_node=4)
+        assert schedule.plan.cost == 6
+        assert schedule.direction == "SR"
+        # R tuples from node 0 consolidate onto node 2 before S broadcasts.
+        assert schedule.plan.migrating_nodes == (0,)
+        assert schedule.plan.destination == 2
+
+    R2 = {1: 4.0, 2: 8.0, 3: 9.0, 4: 6.0}
+    S2 = {1: 2.0, 2: 5.0, 3: 3.0, 4: 1.0}
+
+    def test_figure2_initial_broadcast(self):
+        assert selective_broadcast_cost(self.S2, self.R2, scheduler_node=0) == 33
+
+    def test_figure2_migrations(self):
+        plan = migrate_and_broadcast(self.S2, self.R2, scheduler_node=0)
+        assert plan.cost == 24
+        assert plan.migration_cost == 10  # |R1| + |R4| = 4 + 6
+        assert plan.migrating_nodes == (1, 4)
+        assert plan.destination == 2  # forced-stay node with max |R|+|S|
+
+    def test_figure2_node3_rejected(self):
+        """Migrating node 3 (R=9) would raise the cost (13+16 vs 4+24)."""
+        plan = migrate_and_broadcast(self.S2, self.R2, scheduler_node=0)
+        assert 3 not in plan.migrating_nodes
+
+
+def brute_force_minimum(sizes_r: dict[int, float], sizes_s: dict[int, float], n: int) -> float:
+    """Exhaustive minimum transfer cost for one key's cartesian join.
+
+    Enumerates every assignment x (R sends) and y (S sends) over ``n``
+    nodes; local sends are free; valid plans meet every (R_i, S_j) pair
+    at some common node.
+    """
+    r_nodes = [i for i in range(n) if sizes_r.get(i, 0) > 0]
+    s_nodes = [j for j in range(n) if sizes_s.get(j, 0) > 0]
+    if not r_nodes or not s_nodes:
+        return 0.0
+    all_nodes = list(range(n))
+    best = float("inf")
+
+    def destinations_options(sources):
+        """Per source: choose any subset of remote destinations."""
+        per_source = []
+        for src in sources:
+            remote = [k for k in all_nodes if k != src]
+            options = []
+            for mask in range(2 ** len(remote)):
+                options.append({remote[b] for b in range(len(remote)) if mask >> b & 1})
+            per_source.append(options)
+        return per_source
+
+    r_options = destinations_options(r_nodes)
+    s_options = destinations_options(s_nodes)
+    for r_choice in itertools.product(*r_options):
+        r_cost = sum(len(dsts) * sizes_r[i] for i, dsts in zip(r_nodes, r_choice))
+        if r_cost >= best:
+            continue
+        r_reach = {i: dsts | {i} for i, dsts in zip(r_nodes, r_choice)}
+        for s_choice in itertools.product(*s_options):
+            cost = r_cost + sum(
+                len(dsts) * sizes_s[j] for j, dsts in zip(s_nodes, s_choice)
+            )
+            if cost >= best:
+                continue
+            s_reach = {j: dsts | {j} for j, dsts in zip(s_nodes, s_choice)}
+            valid = all(
+                r_reach[i] & s_reach[j] for i in r_nodes for j in s_nodes
+            )
+            if valid:
+                best = cost
+    return best
+
+
+class TestOptimality:
+    """Theorem 2: the optimized direction minimum is the global optimum."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 9), min_size=3, max_size=3),
+        st.lists(st.integers(0, 9), min_size=3, max_size=3),
+    )
+    def test_three_nodes_exhaustive(self, r_raw, s_raw):
+        sizes_r = {i: float(v) for i, v in enumerate(r_raw) if v > 0}
+        sizes_s = {i: float(v) for i, v in enumerate(s_raw) if v > 0}
+        schedule = optimal_schedule(sizes_r, sizes_s, scheduler_node=0, location_width=0)
+        expected = brute_force_minimum(sizes_r, sizes_s, 3)
+        if not sizes_r or not sizes_s:
+            expected = 0.0
+        assert schedule.plan.cost == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "sizes_r,sizes_s",
+        [
+            ({0: 2, 2: 4}, {1: 3, 3: 1}),  # Figure 1
+            ({1: 4, 2: 8, 3: 9}, {1: 2, 2: 5, 3: 3}),
+            ({0: 1, 1: 1, 2: 1, 3: 1}, {0: 1, 1: 1, 2: 1, 3: 1}),
+            ({0: 100}, {1: 1, 2: 1, 3: 1}),
+            ({0: 1, 3: 50}, {0: 50, 3: 1}),
+        ],
+    )
+    def test_four_nodes_cases(self, sizes_r, sizes_s):
+        sizes_r = {k: float(v) for k, v in sizes_r.items()}
+        sizes_s = {k: float(v) for k, v in sizes_s.items()}
+        schedule = optimal_schedule(sizes_r, sizes_s, scheduler_node=0, location_width=0)
+        assert schedule.plan.cost == pytest.approx(
+            brute_force_minimum(sizes_r, sizes_s, 4)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(st.integers(0, 4), st.integers(1, 20), max_size=5),
+        st.dictionaries(st.integers(0, 4), st.integers(1, 20), max_size=5),
+        st.integers(0, 4),
+    )
+    def test_migration_never_hurts(self, sizes_r, sizes_s, scheduler):
+        """Theorem 1: optimized broadcast <= plain selective broadcast."""
+        sizes_r = {k: float(v) for k, v in sizes_r.items()}
+        sizes_s = {k: float(v) for k, v in sizes_s.items()}
+        plain = selective_broadcast_cost(sizes_r, sizes_s, scheduler, location_width=1)
+        optimized = migrate_and_broadcast(sizes_r, sizes_s, scheduler, location_width=1)
+        assert optimized.cost <= plain + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(st.integers(0, 4), st.integers(1, 20), max_size=5),
+        st.dictionaries(st.integers(0, 4), st.integers(1, 20), min_size=1, max_size=5),
+        st.integers(0, 4),
+        st.floats(0.0, 5.0),
+    )
+    def test_forced_stay_choice_is_optimal(self, sizes_r, sizes_s, scheduler, width):
+        """The chosen stay node beats forcing any other holder to stay.
+
+        Enumerates every possible forced-stay holder and recomputes the
+        independent migration decisions; the implementation's plan must
+        match the best of them (this is where the scheduler-local
+        message discount makes the naive max-size tie-break suboptimal).
+        """
+        sizes_r = {k: float(v) for k, v in sizes_r.items()}
+        sizes_s = {k: float(v) for k, v in sizes_s.items()}
+        plan = migrate_and_broadcast(sizes_r, sizes_s, scheduler, width)
+        r_all = sum(sizes_r.values())
+        r_nodes = sum(1 for i, v in sizes_r.items() if v > 0 and i != scheduler)
+        base = selective_broadcast_cost(sizes_r, sizes_s, scheduler, width)
+        holders = [i for i, v in sizes_s.items() if v > 0]
+        best = float("inf")
+        for stay in holders:
+            cost = base
+            for i in holders:
+                if i == stay:
+                    continue
+                delta = sizes_r.get(i, 0.0) + sizes_s[i] - r_all - r_nodes * width
+                if i != scheduler:
+                    delta += width
+                if delta < 0:
+                    cost += delta
+            best = min(best, cost)
+        assert plan.cost == pytest.approx(best)
+
+    def test_empty_sides_cost_zero(self):
+        schedule = optimal_schedule({}, {0: 5.0}, scheduler_node=0)
+        assert schedule.plan.cost == 0
+        assert schedule.plan.migrating_nodes == ()
+
+
+def tracking_from_dicts(per_key: list[tuple[dict, dict]], t_nodes: list[int]) -> TrackingTable:
+    """Build a TrackingTable from per-key (sizes_r, sizes_s) dicts."""
+    keys, nodes, size_r, size_s = [], [], [], []
+    for key, (sizes_r, sizes_s) in enumerate(per_key):
+        union_nodes = sorted(set(sizes_r) | set(sizes_s))
+        for node in union_nodes:
+            keys.append(key)
+            nodes.append(node)
+            size_r.append(float(sizes_r.get(node, 0.0)))
+            size_s.append(float(sizes_s.get(node, 0.0)))
+    keys = np.array(keys, dtype=np.int64)
+    starts = segment_boundaries(keys)
+    return TrackingTable(
+        keys=keys,
+        nodes=np.array(nodes, dtype=np.int64),
+        size_r=np.array(size_r),
+        size_s=np.array(size_s),
+        key_starts=starts,
+        t_nodes=np.array(t_nodes, dtype=np.int64),
+    )
+
+
+@st.composite
+def key_population(draw):
+    """A list of per-key size dictionaries plus scheduler nodes."""
+    num_keys = draw(st.integers(1, 6))
+    per_key = []
+    t_nodes = []
+    for _ in range(num_keys):
+        sizes_r = draw(st.dictionaries(st.integers(0, 4), st.integers(1, 30), max_size=5))
+        sizes_s = draw(st.dictionaries(st.integers(0, 4), st.integers(1, 30), max_size=5))
+        if not sizes_r and not sizes_s:
+            sizes_r = {0: 1}
+        per_key.append((sizes_r, sizes_s))
+        t_nodes.append(draw(st.integers(0, 4)))
+    return per_key, t_nodes
+
+
+class TestVectorizedAgainstScalar:
+    @settings(max_examples=80, deadline=None)
+    @given(key_population(), st.floats(0.0, 4.0))
+    def test_costs_match_scalar(self, population, location_width):
+        per_key, t_nodes = population
+        tracking = tracking_from_dicts(per_key, t_nodes)
+        schedules = generate_schedules(tracking, location_width=location_width)
+        for key, (sizes_r, sizes_s) in enumerate(per_key):
+            scalar = optimal_schedule(
+                {k: float(v) for k, v in sizes_r.items()},
+                {k: float(v) for k, v in sizes_s.items()},
+                scheduler_node=t_nodes[key],
+                location_width=location_width,
+            )
+            assert schedules.cost[key] == pytest.approx(scalar.plan.cost), (
+                f"key {key}: vectorized {schedules.cost[key]} != scalar "
+                f"{scalar.plan.cost} for {sizes_r} vs {sizes_s}"
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(key_population())
+    def test_directions_match_scalar(self, population):
+        per_key, t_nodes = population
+        tracking = tracking_from_dicts(per_key, t_nodes)
+        schedules = generate_schedules(tracking, location_width=1.0)
+        for key, (sizes_r, sizes_s) in enumerate(per_key):
+            scalar = optimal_schedule(
+                {k: float(v) for k, v in sizes_r.items()},
+                {k: float(v) for k, v in sizes_s.items()},
+                scheduler_node=t_nodes[key],
+                location_width=1.0,
+            )
+            got = "RS" if schedules.direction_rs[key] else "SR"
+            # Directions may legitimately differ only at exact cost ties.
+            if scalar.plan.cost != scalar.alternative.cost:
+                assert got == scalar.direction
+
+    @settings(max_examples=30, deadline=None)
+    @given(key_population())
+    def test_three_phase_is_min_of_plain_directions(self, population):
+        per_key, t_nodes = population
+        tracking = tracking_from_dicts(per_key, t_nodes)
+        schedules = generate_schedules(tracking, location_width=1.0, allow_migration=False)
+        for key, (sizes_r, sizes_s) in enumerate(per_key):
+            rs = selective_broadcast_cost(
+                {k: float(v) for k, v in sizes_r.items()},
+                {k: float(v) for k, v in sizes_s.items()},
+                t_nodes[key],
+                1.0,
+            )
+            sr = selective_broadcast_cost(
+                {k: float(v) for k, v in sizes_s.items()},
+                {k: float(v) for k, v in sizes_r.items()},
+                t_nodes[key],
+                1.0,
+            )
+            assert schedules.cost[key] == pytest.approx(min(rs, sr))
+
+    def test_forced_direction(self):
+        tracking = tracking_from_dicts([({0: 5}, {1: 3})], [0])
+        rs = generate_schedules(tracking, 0.0, allow_migration=False, forced_direction="RS")
+        sr = generate_schedules(tracking, 0.0, allow_migration=False, forced_direction="SR")
+        assert rs.cost[0] == 5.0  # move R to S's node
+        assert sr.cost[0] == 3.0  # move S to R's node
+
+    def test_invalid_forced_direction(self):
+        tracking = tracking_from_dicts([({0: 1}, {1: 1})], [0])
+        with pytest.raises(ScheduleError):
+            generate_schedules(tracking, forced_direction="XY")
+
+    def test_empty_tracking_table(self):
+        empty = np.empty(0, dtype=np.int64)
+        tracking = TrackingTable(
+            empty, empty, empty.astype(float), empty.astype(float), empty, empty
+        )
+        schedules = generate_schedules(tracking)
+        assert schedules.num_keys == 0

@@ -1,0 +1,204 @@
+"""Unit tests for schemas, tables, and placement policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import DictionaryEncoding, FixedByteEncoding, VarByteEncoding
+from repro.errors import PlacementError, SchemaError
+from repro.storage import (
+    Column,
+    DistributedTable,
+    LocalPartition,
+    Schema,
+    by_key_hash,
+    collocated_fraction,
+    pattern_nodes,
+    random_uniform,
+    round_robin,
+    shuffled,
+)
+
+
+class TestColumn:
+    def test_needs_bits_or_char_length(self):
+        with pytest.raises(SchemaError):
+            Column("bad")
+
+    def test_rejects_nonpositive_bits(self):
+        with pytest.raises(SchemaError):
+            Column("bad", bits=0)
+
+    def test_char_column(self):
+        col = Column("name", char_length=23)
+        assert col.is_char
+
+    def test_decimal_digits_derived_from_bits(self):
+        # 30 bits ~ 9.03 decimal digits -> 10.
+        assert Column("k", bits=30).effective_decimal_digits() == 10
+
+    def test_explicit_decimal_digits_win(self):
+        assert Column("k", bits=30, decimal_digits=12).effective_decimal_digits() == 12
+
+
+class TestSchema:
+    def test_widths_under_encodings(self):
+        schema = Schema(
+            (Column("k", bits=30),),
+            (Column("a", bits=6), Column("b", bits=24)),
+        )
+        dictionary = DictionaryEncoding()
+        assert schema.key_width(dictionary) == pytest.approx(30 / 8)
+        assert schema.payload_width(dictionary) == pytest.approx(30 / 8)
+        assert schema.tuple_width(dictionary) == pytest.approx(60 / 8)
+        fixed = FixedByteEncoding()
+        assert schema.key_width(fixed) == 4
+        assert schema.payload_width(fixed) == 1 + 4
+
+    def test_with_widths_shortcut(self):
+        schema = Schema.with_widths(32, 128)
+        assert schema.tuple_width(DictionaryEncoding()) == pytest.approx(20.0)
+
+    def test_with_widths_zero_payload(self):
+        schema = Schema.with_widths(32, 0)
+        assert schema.payload_columns == ()
+
+    def test_requires_key(self):
+        with pytest.raises(SchemaError):
+            Schema(key_columns=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Column("k", bits=8),), (Column("k", bits=8),))
+
+    def test_multi_column_key(self):
+        schema = Schema((Column("k1", bits=16), Column("k2", bits=16)), ())
+        assert schema.key_width(DictionaryEncoding()) == pytest.approx(4.0)
+
+
+class TestLocalPartition:
+    def test_column_length_checked(self):
+        with pytest.raises(SchemaError):
+            LocalPartition(keys=np.arange(3), columns={"x": np.arange(2)})
+
+    def test_take(self):
+        part = LocalPartition(keys=np.array([5, 6, 7]), columns={"v": np.array([1, 2, 3])})
+        taken = part.take(np.array([2, 0]))
+        assert np.array_equal(taken.keys, [7, 5])
+        assert np.array_equal(taken.columns["v"], [3, 1])
+
+    def test_concat_mismatched_columns_rejected(self):
+        a = LocalPartition(keys=np.array([1]), columns={"x": np.array([1])})
+        b = LocalPartition(keys=np.array([2]), columns={"y": np.array([2])})
+        with pytest.raises(SchemaError):
+            LocalPartition.concat([a, b])
+
+    def test_concat_empty_list(self):
+        assert LocalPartition.concat([]).num_rows == 0
+
+
+class TestDistributedTable:
+    def test_from_assignment_partitions_rows(self):
+        keys = np.array([10, 11, 12, 13])
+        nodes = np.array([1, 0, 1, 2])
+        table = DistributedTable.from_assignment(
+            "T", Schema.with_widths(32, 32), keys, nodes, num_nodes=3
+        )
+        assert table.total_rows == 4
+        assert np.array_equal(table.partitions[0].keys, [11])
+        assert sorted(table.partitions[1].keys.tolist()) == [10, 12]
+        assert np.array_equal(table.partitions[2].keys, [13])
+
+    def test_rid_column_synthesized(self):
+        table = DistributedTable.from_assignment(
+            "T", Schema.with_widths(32, 32), np.array([1, 2]), np.array([0, 1]), 2
+        )
+        assert table.payload_names == ("rid",)
+        gathered = table.gathered()
+        assert sorted(gathered.columns["rid"].tolist()) == [0, 1]
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(PlacementError):
+            DistributedTable.from_assignment(
+                "T", Schema.with_widths(32, 0), np.array([1]), np.array([5]), 2
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PlacementError):
+            DistributedTable.from_assignment(
+                "T", Schema.with_widths(32, 0), np.array([1, 2]), np.array([0]), 2
+            )
+
+    def test_node_sizes(self):
+        table = DistributedTable.from_assignment(
+            "T", Schema.with_widths(32, 0), np.arange(6), round_robin(6, 3), 3
+        )
+        assert np.array_equal(table.node_sizes(), [2, 2, 2])
+
+
+class TestPlacement:
+    def test_round_robin(self):
+        assert np.array_equal(round_robin(5, 2), [0, 1, 0, 1, 0])
+
+    def test_random_uniform_range_and_determinism(self):
+        a = random_uniform(1000, 8, seed=3)
+        b = random_uniform(1000, 8, seed=3)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 8
+
+    def test_by_key_hash_collocates_equal_keys(self):
+        keys = np.array([7, 7, 7, 9, 9])
+        nodes = by_key_hash(keys, 4)
+        assert len(set(nodes[:3].tolist())) == 1
+        assert len(set(nodes[3:].tolist())) == 1
+
+    def test_shuffled_changes_assignment(self):
+        original = np.zeros(1000, dtype=np.int64)
+        result = shuffled(original, 8, seed=1)
+        assert len(np.unique(result)) > 1
+
+    def test_pattern_nodes_collocated(self):
+        key_index, node, _pool = pattern_nodes(100, (5,), 16, seed=0)
+        assert len(key_index) == 500
+        for k in range(100):
+            nodes_of_key = node[key_index == k]
+            assert len(set(nodes_of_key.tolist())) == 1
+
+    def test_pattern_nodes_spread(self):
+        key_index, node, _pool = pattern_nodes(50, (1, 1, 1, 1, 1), 16, seed=0)
+        for k in range(50):
+            nodes_of_key = node[key_index == k]
+            assert len(set(nodes_of_key.tolist())) == 5
+
+    def test_pattern_nodes_partial(self):
+        key_index, node, _pool = pattern_nodes(50, (2, 2, 1), 16, seed=0)
+        for k in range(50):
+            nodes_of_key = node[key_index == k]
+            counts = sorted(c for c in np.bincount(nodes_of_key, minlength=16) if c > 0)
+            assert counts == [1, 2, 2]
+
+    def test_pattern_nodes_shared_pool_collocates(self):
+        _, node_a, pool = pattern_nodes(30, (5,), 8, seed=1)
+        _, node_b, _ = pattern_nodes(30, (5,), 8, node_pool=pool)
+        assert np.array_equal(node_a, node_b)
+
+    def test_pattern_too_many_groups(self):
+        with pytest.raises(PlacementError):
+            pattern_nodes(10, (1, 1, 1), 2)
+
+    def test_collocated_fraction_full(self):
+        keys = np.arange(100, dtype=np.int64)
+        anchors = np.full(200, 3, dtype=np.int64)
+        nodes = collocated_fraction(keys, anchors, 1.0, 8, seed=0)
+        assert np.all(nodes == 3)
+
+    def test_collocated_fraction_invalid(self):
+        with pytest.raises(PlacementError):
+            collocated_fraction(np.arange(5), np.zeros(10, dtype=np.int64), 1.5, 4)
+
+    @given(st.integers(1, 64), st.integers(1, 8))
+    def test_round_robin_balance(self, rows, nodes):
+        counts = np.bincount(round_robin(rows, nodes), minlength=nodes)
+        assert counts.max() - counts.min() <= 1

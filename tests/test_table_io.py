@@ -1,0 +1,71 @@
+"""Tests for table persistence (save/load round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GraceHashJoin, TrackJoin4
+from repro.errors import SchemaError
+from repro.storage.io import load_table, save_table
+from repro.workloads import workload_y
+
+from conftest import assert_same_output, make_tables
+
+
+class TestRoundTrip:
+    def test_schema_and_data_preserved(self, tmp_path, small_cluster, small_tables):
+        table_r, _ = small_tables
+        path = str(tmp_path / "r.npz")
+        save_table(table_r, path)
+        restored = load_table(path)
+        assert restored.name == table_r.name
+        assert restored.num_nodes == table_r.num_nodes
+        assert restored.total_rows == table_r.total_rows
+        assert restored.payload_names == table_r.payload_names
+        for original, loaded in zip(table_r.partitions, restored.partitions):
+            assert np.array_equal(original.keys, loaded.keys)
+            for name in original.columns:
+                assert np.array_equal(original.columns[name], loaded.columns[name])
+        from repro.encoding import DictionaryEncoding
+
+        encoding = DictionaryEncoding()
+        assert restored.schema.tuple_width(encoding) == table_r.schema.tuple_width(
+            encoding
+        )
+
+    def test_join_on_restored_tables(self, tmp_path, small_cluster, small_tables):
+        table_r, table_s = small_tables
+        save_table(table_r, str(tmp_path / "r.npz"))
+        save_table(table_s, str(tmp_path / "s.npz"))
+        restored_r = load_table(str(tmp_path / "r.npz"))
+        restored_s = load_table(str(tmp_path / "s.npz"))
+        original = TrackJoin4().run(small_cluster, table_r, table_s)
+        restored = TrackJoin4().run(small_cluster, restored_r, restored_s)
+        assert_same_output(original, restored)
+        assert restored.network_bytes == pytest.approx(original.network_bytes)
+
+    def test_workload_surrogate_roundtrip(self, tmp_path):
+        """Rich schemas (char columns, decimal digits) survive."""
+        wl = workload_y(scale_denominator=4096, num_nodes=4)
+        path = str(tmp_path / "y.npz")
+        save_table(wl.table_s, path)
+        restored = load_table(path)
+        from repro.encoding import VarByteEncoding
+
+        assert restored.schema.tuple_width(VarByteEncoding()) == pytest.approx(47)
+
+    def test_empty_table(self, tmp_path):
+        cluster = Cluster(3)
+        table_r, _ = make_tables(
+            cluster, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        path = str(tmp_path / "empty.npz")
+        save_table(table_r, path)
+        assert load_table(path).total_rows == 0
+
+    def test_not_a_table_file(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(SchemaError):
+            load_table(path)

@@ -1,0 +1,166 @@
+"""Tests for execution profiles and the hardware timing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    CPU,
+    LOCAL,
+    NET,
+    ExecutionProfile,
+    HardwareModel,
+    paper_cluster_2014,
+    scaled_network,
+)
+
+
+class TestExecutionProfile:
+    def test_steps_accumulate_by_name(self):
+        profile = ExecutionProfile(4)
+        profile.add_cpu_at("Sort", "sort", 0, 100)
+        profile.add_cpu_at("Sort", "sort", 1, 300)
+        assert len(profile.steps) == 1
+        step = profile.step_named("Sort")
+        assert step.total_bytes == 400
+        assert step.max_node_bytes == 300
+
+    def test_kinds_are_separate_steps(self):
+        profile = ExecutionProfile(2)
+        profile.add_cpu_at("X", "sort", 0, 1)
+        profile.add_net_at("X", 0, 1)
+        assert len(profile.steps) == 2
+
+    def test_shape_validation(self):
+        profile = ExecutionProfile(3)
+        with pytest.raises(ValueError):
+            profile.add_cpu("Bad", "sort", np.zeros(2))
+
+    def test_total_network_bytes(self):
+        profile = ExecutionProfile(2)
+        profile.add_net_at("T1", 0, 10)
+        profile.add_net_at("T2", 1, 30)
+        profile.add_cpu_at("C", "sort", 0, 99)
+        assert profile.total_network_bytes() == 40
+
+    def test_local_steps(self):
+        profile = ExecutionProfile(2)
+        step = profile.add_local("Copy", 1, 50)
+        assert step.kind == LOCAL
+        assert step.rate_class == "copy"
+
+
+class TestHardwareModel:
+    def test_network_time_uses_total_bytes(self):
+        model = HardwareModel(num_nodes=4, net_aggregate_bandwidth=100.0, cpu_rates={})
+        profile = ExecutionProfile(4)
+        profile.add_net("Transfer", [100, 100, 100, 100])
+        assert model.network_seconds(profile) == pytest.approx(4.0)
+
+    def test_cpu_time_uses_max_node(self):
+        model = HardwareModel(4, 1.0, cpu_rates={"sort": 10.0})
+        profile = ExecutionProfile(4)
+        profile.add_cpu("Sort", "sort", [10, 40, 20, 10])
+        assert model.cpu_seconds(profile) == pytest.approx(4.0)
+
+    def test_unknown_rate_class(self):
+        model = HardwareModel(2, 1.0, cpu_rates={})
+        profile = ExecutionProfile(2)
+        profile.add_cpu("Weird", "weird", [1, 1])
+        with pytest.raises(KeyError):
+            model.cpu_seconds(profile)
+
+    def test_local_copies_count_as_cpu(self):
+        model = HardwareModel(2, 1.0, cpu_rates={"copy": 5.0})
+        profile = ExecutionProfile(2)
+        profile.add_local("Copy", 0, 10)
+        assert model.cpu_seconds(profile) == pytest.approx(2.0)
+        assert model.network_seconds(profile) == 0.0
+
+    def test_paper_preset_reproduces_hash_join_transfer(self):
+        """Sanity anchor: 6.35 GB of remote R tuples ~ 29.5 s (Table 3)."""
+        model = paper_cluster_2014(4)
+        profile = ExecutionProfile(4)
+        profile.add_net("Transfer R tuples", [6.35e9 / 4] * 4)
+        assert model.network_seconds(profile) == pytest.approx(29.5, rel=0.05)
+
+    def test_scaled_network(self):
+        base = paper_cluster_2014(4)
+        fast = scaled_network(base, 10.0)
+        assert fast.net_aggregate_bandwidth == pytest.approx(
+            10 * base.net_aggregate_bandwidth
+        )
+        assert fast.cpu_rates == base.cpu_rates
+
+    def test_total_seconds_depipelined_vs_overlapped(self):
+        model = HardwareModel(2, 10.0, cpu_rates={"sort": 10.0})
+        profile = ExecutionProfile(2)
+        profile.add_cpu("Sort", "sort", [30, 10])
+        profile.add_net("Transfer", [20, 20])
+        assert model.total_seconds(profile) == pytest.approx(3.0 + 4.0)
+        assert model.total_seconds(profile, overlap=True) == pytest.approx(4.0)
+
+    def test_overlap_bounded_by_depipelined(self):
+        model = paper_cluster_2014(4)
+        profile = ExecutionProfile(4)
+        profile.add_cpu("Sort", "sort", [1e9] * 4)
+        profile.add_net("Transfer", [1e8] * 4)
+        assert model.total_seconds(profile, overlap=True) <= model.total_seconds(profile)
+
+    def test_step_timings_in_order(self):
+        model = HardwareModel(2, 10.0, cpu_rates={"sort": 10.0})
+        profile = ExecutionProfile(2)
+        profile.add_cpu_at("A", "sort", 0, 10)
+        profile.add_net_at("B", 0, 10)
+        timings = model.step_timings(profile)
+        assert [t.name for t in timings] == ["A", "B"]
+        assert timings[0].kind == CPU and timings[1].kind == NET
+
+
+class TestBottleneckSeconds:
+    def test_busiest_link_drives_makespan(self):
+        from repro.cluster.network import Message, MessageClass, TrafficLedger
+        from repro.timing import bottleneck_seconds
+
+        ledger = TrafficLedger()
+        ledger.record(Message(0, 1, MessageClass.R_TUPLES, 100.0, None))
+        ledger.record(Message(0, 2, MessageClass.R_TUPLES, 40.0, None))
+        assert bottleneck_seconds(ledger, per_link_bandwidth=10.0) == pytest.approx(10.0)
+
+    def test_empty_ledger(self):
+        from repro.cluster.network import TrafficLedger
+        from repro.timing import bottleneck_seconds
+
+        assert bottleneck_seconds(TrafficLedger(), 1.0) == 0.0
+
+    def test_invalid_bandwidth(self):
+        from repro.cluster.network import TrafficLedger
+        from repro.timing import bottleneck_seconds
+
+        with pytest.raises(ValueError):
+            bottleneck_seconds(TrafficLedger(), 0.0)
+
+    def test_balanced_schedule_lower_makespan(self):
+        """The balance-aware scheduler can lower the link makespan even
+        at equal total traffic."""
+        import numpy as np
+
+        from repro import Cluster, JoinSpec, Schema, TrackJoin4
+        from repro.core.balance import BalanceAwareTrackJoin
+        from repro.timing import bottleneck_seconds
+        from repro.testing import scatter_tables
+
+        cluster = Cluster(6)
+        rng = np.random.default_rng(3)
+        keys = np.repeat(np.arange(300, dtype=np.int64), 4)
+        schema = Schema.with_widths(32, 128)
+        nodes_r = rng.integers(0, 6, len(keys))
+        nodes_s = np.where(rng.random(len(keys)) < 0.7, 0, rng.integers(0, 6, len(keys)))
+        table_r = cluster.table_from_assignment("R", schema, keys, nodes_r)
+        table_s = cluster.table_from_assignment("S", schema, keys, nodes_s)
+        optimal = TrackJoin4().run(cluster, table_r, table_s)
+        balanced = BalanceAwareTrackJoin().run(cluster, table_r, table_s)
+        assert bottleneck_seconds(balanced.traffic, 1.0) <= bottleneck_seconds(
+            optimal.traffic, 1.0
+        ) * 1.05

@@ -1,0 +1,200 @@
+"""Unit tests for hashing and segmented array utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    hash_partition,
+    mix64,
+    segment_boundaries,
+    segment_count,
+    segment_ids,
+    segment_max_position,
+    segment_sum,
+    segmented_cartesian,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        values = np.arange(100, dtype=np.int64)
+        assert np.array_equal(mix64(values), mix64(values))
+
+    def test_seed_changes_stream(self):
+        values = np.arange(100, dtype=np.int64)
+        assert not np.array_equal(mix64(values, seed=0), mix64(values, seed=1))
+
+    def test_input_not_mutated(self):
+        values = np.arange(10, dtype=np.int64)
+        mix64(values)
+        assert np.array_equal(values, np.arange(10))
+
+    def test_no_trivial_collisions(self):
+        values = np.arange(10_000, dtype=np.int64)
+        assert len(np.unique(mix64(values))) == 10_000
+
+
+class TestHashPartition:
+    def test_range(self):
+        nodes = hash_partition(np.arange(1000, dtype=np.int64), 7)
+        assert nodes.min() >= 0 and nodes.max() < 7
+
+    def test_consecutive_keys_spread(self):
+        """Sequential keys should not all land on key % N."""
+        keys = np.arange(16_000, dtype=np.int64)
+        nodes = hash_partition(keys, 16)
+        counts = np.bincount(nodes, minlength=16)
+        # Roughly uniform: no node has more than 2x the average.
+        assert counts.max() < 2 * counts.mean()
+        assert not np.array_equal(nodes, keys % 16)
+
+    def test_single_node(self):
+        assert np.all(hash_partition(np.arange(10, dtype=np.int64), 1) == 0)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            hash_partition(np.arange(3, dtype=np.int64), 0)
+
+
+class TestSegments:
+    def test_boundaries_basic(self):
+        keys = np.array([1, 1, 2, 2, 2, 5])
+        assert np.array_equal(segment_boundaries(keys), [0, 2, 5])
+
+    def test_boundaries_empty(self):
+        assert len(segment_boundaries(np.array([], dtype=np.int64))) == 0
+
+    def test_boundaries_all_same(self):
+        assert np.array_equal(segment_boundaries(np.zeros(5, dtype=np.int64)), [0])
+
+    def test_sum_and_count(self):
+        keys = np.array([1, 1, 2, 5, 5, 5])
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        starts = segment_boundaries(keys)
+        assert np.array_equal(segment_sum(values, starts), [3.0, 3.0, 15.0])
+        assert np.array_equal(segment_count(starts, len(keys)), [2, 1, 3])
+
+    def test_ids(self):
+        keys = np.array([3, 3, 7, 9, 9])
+        starts = segment_boundaries(keys)
+        assert np.array_equal(segment_ids(starts, len(keys)), [0, 0, 1, 2, 2])
+
+    def test_max_position_first_tie(self):
+        values = np.array([1.0, 5.0, 5.0, 2.0, 2.0])
+        starts = np.array([0, 3])
+        positions = segment_max_position(values, starts, len(values))
+        assert np.array_equal(positions, [1, 3])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.floats(0, 100)), min_size=1, max_size=50
+        )
+    )
+    def test_segment_sum_matches_python(self, pairs):
+        pairs.sort(key=lambda p: p[0])
+        keys = np.array([p[0] for p in pairs], dtype=np.int64)
+        values = np.array([p[1] for p in pairs])
+        starts = segment_boundaries(keys)
+        sums = segment_sum(values, starts)
+        expected = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0.0) + v
+        assert np.allclose(sums, [expected[k] for k in sorted(expected)])
+
+
+class TestSegmentedCartesian:
+    def test_basic(self):
+        a_seg = np.array([0, 0, 1])
+        b_seg = np.array([0, 1, 1])
+        ia, ib = segmented_cartesian(a_seg, b_seg)
+        pairs = set(zip(ia.tolist(), ib.tolist()))
+        assert pairs == {(0, 0), (1, 0), (2, 1), (2, 2)}
+
+    def test_empty_inputs(self):
+        ia, ib = segmented_cartesian(np.array([], dtype=np.int64), np.array([0]))
+        assert len(ia) == 0 and len(ib) == 0
+
+    def test_disjoint_segments(self):
+        ia, ib = segmented_cartesian(np.array([0, 0]), np.array([1, 1]))
+        assert len(ia) == 0
+
+    @given(
+        st.lists(st.integers(0, 4), min_size=0, max_size=12),
+        st.lists(st.integers(0, 4), min_size=0, max_size=12),
+    )
+    def test_matches_bruteforce(self, a_raw, b_raw):
+        a_seg = np.array(sorted(a_raw), dtype=np.int64)
+        b_seg = np.array(sorted(b_raw), dtype=np.int64)
+        ia, ib = segmented_cartesian(a_seg, b_seg)
+        got = sorted(zip(ia.tolist(), ib.tolist()))
+        expected = sorted(
+            (i, j)
+            for i in range(len(a_seg))
+            for j in range(len(b_seg))
+            if a_seg[i] == b_seg[j]
+        )
+        assert got == expected
+
+
+class TestCompositeKeys:
+    def test_pack_unpack_roundtrip(self):
+        from repro.util import pack_composite_keys, unpack_composite_keys
+
+        a = np.array([1, 2, 3], dtype=np.int64)
+        b = np.array([100, 200, 300], dtype=np.int64)
+        packed = pack_composite_keys([a, b], [8, 16])
+        ua, ub = unpack_composite_keys(packed, [8, 16])
+        assert np.array_equal(ua, a)
+        assert np.array_equal(ub, b)
+
+    def test_injective(self):
+        from repro.util import pack_composite_keys
+
+        a = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        packed = pack_composite_keys([a[:, 0], a[:, 1]], [4, 4])
+        assert len(np.unique(packed)) == 4
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.integers(0, 2**20 - 1)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_property_roundtrip(self, pairs):
+        from repro.util import pack_composite_keys, unpack_composite_keys
+
+        a = np.array([p[0] for p in pairs], dtype=np.int64)
+        b = np.array([p[1] for p in pairs], dtype=np.int64)
+        packed = pack_composite_keys([a, b], [8, 20])
+        ua, ub = unpack_composite_keys(packed, [8, 20])
+        assert np.array_equal(ua, a) and np.array_equal(ub, b)
+
+    def test_overflow_rejected(self):
+        from repro.util import pack_composite_keys
+
+        with pytest.raises(ValueError):
+            pack_composite_keys([np.array([256])], [8])
+        with pytest.raises(ValueError):
+            pack_composite_keys([np.array([1])] * 8, [10] * 8)
+        with pytest.raises(ValueError):
+            pack_composite_keys([], [])
+
+    def test_join_on_composite_keys(self):
+        """A two-column equi-join via packed keys."""
+        from repro import Cluster, GraceHashJoin, TrackJoin4
+        from repro.util import pack_composite_keys
+        from conftest import make_tables, assert_same_output
+
+        rng = np.random.default_rng(5)
+        col_a = rng.integers(0, 16, 3000)
+        col_b = rng.integers(0, 64, 3000)
+        keys = pack_composite_keys([col_a, col_b], [4, 6])
+        cluster = Cluster(4)
+        table_r, table_s = make_tables(cluster, keys, keys[::-1].copy(), seed=1)
+        hashed = GraceHashJoin().run(cluster, table_r, table_s)
+        tracked = TrackJoin4().run(cluster, table_r, table_s)
+        assert_same_output(hashed, tracked)

@@ -1,0 +1,291 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GraceHashJoin, JoinSpec
+from repro.encoding import DictionaryEncoding, FixedByteEncoding, VarByteEncoding
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PATTERN_COLLOCATED,
+    PATTERN_PARTIAL,
+    PATTERN_SPREAD,
+    X_PAPER,
+    Y_PAPER,
+    both_sides_pattern_workload,
+    single_side_pattern_workload,
+    unique_keys_workload,
+    workload_x,
+    workload_y,
+    x_query_schemas,
+)
+
+
+class TestUniqueKeys:
+    def test_cardinalities_and_scale(self):
+        wl = unique_keys_workload(scaled_tuples=10_000)
+        assert wl.table_r.total_rows == 10_000
+        assert wl.table_s.total_rows == 10_000
+        assert wl.scale == pytest.approx(1e9 / 10_000)
+
+    def test_widths(self):
+        wl = unique_keys_workload(row_bytes_r=20, row_bytes_s=60, scaled_tuples=100)
+        encoding = DictionaryEncoding()
+        assert wl.table_r.schema.tuple_width(encoding) == pytest.approx(20)
+        assert wl.table_s.schema.tuple_width(encoding) == pytest.approx(60)
+
+    def test_output_is_one_to_one(self):
+        wl = unique_keys_workload(scaled_tuples=5_000, num_nodes=4)
+        result = GraceHashJoin().run(
+            wl.cluster, wl.table_r, wl.table_s, JoinSpec(materialize=False)
+        )
+        assert result.output_rows == 5_000
+
+
+class TestPatternWorkloads:
+    def test_single_side_row_counts(self):
+        wl = single_side_pattern_workload(PATTERN_PARTIAL, scaled_keys=1000)
+        assert wl.table_r.total_rows == 1000
+        assert wl.table_s.total_rows == 5000
+        assert wl.expected_output_rows == 5000
+
+    def test_single_side_invalid_pattern(self):
+        with pytest.raises(WorkloadError):
+            single_side_pattern_workload((2, 2), scaled_keys=10)
+
+    def test_collocated_pattern_keeps_repeats_together(self):
+        wl = single_side_pattern_workload(PATTERN_COLLOCATED, scaled_keys=500)
+        for partition in wl.table_s.partitions:
+            keys, counts = np.unique(partition.keys, return_counts=True)
+            assert (counts == 5).all()
+
+    def test_both_sides_output(self):
+        wl = both_sides_pattern_workload(
+            PATTERN_SPREAD, inter_collocated=False, scaled_keys=400
+        )
+        result = GraceHashJoin().run(
+            wl.cluster, wl.table_r, wl.table_s, JoinSpec(materialize=False)
+        )
+        assert result.output_rows == 400 * 25
+
+    def test_inter_collocation_aligns_tables(self):
+        wl = both_sides_pattern_workload(
+            PATTERN_COLLOCATED, inter_collocated=True, scaled_keys=300
+        )
+        # Every key's R node set equals its S node set.
+        for node in range(wl.num_nodes):
+            keys_r = set(wl.table_r.partitions[node].keys.tolist())
+            keys_s = set(wl.table_s.partitions[node].keys.tolist())
+            assert keys_r == keys_s
+
+
+class TestWorkloadX:
+    def test_schemas_match_table1_bits(self):
+        schema_r, schema_s = x_query_schemas(1)
+        encoding = DictionaryEncoding()
+        assert schema_r.tuple_width(encoding) * 8 == pytest.approx(79)
+        assert schema_s.tuple_width(encoding) * 8 == pytest.approx(145)
+
+    @pytest.mark.parametrize("query", [2, 3, 4, 5])
+    def test_other_query_widths(self, query):
+        schema_r, schema_s = x_query_schemas(query)
+        bits_r, bits_s = X_PAPER["query_bits"][query]
+        encoding = DictionaryEncoding()
+        assert schema_r.tuple_width(encoding) * 8 == pytest.approx(bits_r)
+        assert schema_s.tuple_width(encoding) * 8 == pytest.approx(bits_s)
+
+    def test_invalid_query(self):
+        with pytest.raises(WorkloadError):
+            x_query_schemas(6)
+
+    def test_cardinalities_scale(self):
+        wl = workload_x(scale_denominator=2048)
+        assert wl.table_r.total_rows == round(X_PAPER["tuples_r"] / 2048)
+        assert wl.table_s.total_rows == round(X_PAPER["tuples_s"] / 2048)
+
+    def test_output_close_to_published(self):
+        wl = workload_x(scale_denominator=1024, num_nodes=4)
+        result = GraceHashJoin().run(
+            wl.cluster, wl.table_r, wl.table_s, JoinSpec(materialize=False)
+        )
+        assert result.output_rows == pytest.approx(
+            X_PAPER["output"] / 1024, rel=0.02
+        )
+
+    def test_shuffled_removes_locality(self):
+        original = workload_x(scale_denominator=2048, num_nodes=4, ordering="original")
+        shuffled = workload_x(scale_denominator=2048, num_nodes=4, ordering="shuffled")
+        from repro import TrackJoin2
+
+        spec = JoinSpec(materialize=False)
+        orig = TrackJoin2("RS").run(
+            original.cluster, original.table_r, original.table_s, spec
+        )
+        shuf = TrackJoin2("RS").run(
+            shuffled.cluster, shuffled.table_r, shuffled.table_s, spec
+        )
+        assert orig.network_bytes < shuf.network_bytes
+
+    def test_hash_join_blind_to_ordering(self):
+        """HJ traffic must be ~identical for original vs shuffled (Fig 7/8)."""
+        spec = JoinSpec(materialize=False)
+        results = []
+        for ordering in ("original", "shuffled"):
+            wl = workload_x(scale_denominator=2048, num_nodes=4, ordering=ordering)
+            results.append(
+                GraceHashJoin().run(wl.cluster, wl.table_r, wl.table_s, spec).network_bytes
+            )
+        assert results[0] == pytest.approx(results[1], rel=0.01)
+
+    def test_implementation_widths(self):
+        wl = workload_x(scale_denominator=4096, implementation_widths=True, num_nodes=4)
+        encoding = DictionaryEncoding()
+        assert wl.table_r.schema.tuple_width(encoding) == pytest.approx(11)
+        assert wl.table_s.schema.tuple_width(encoding) == pytest.approx(22)
+
+    def test_encoding_width_ordering(self):
+        """varbyte > fixed > dictionary for the Table 1 schema (Fig 7)."""
+        schema_r, _ = x_query_schemas(1)
+        widths = {
+            name: schema_r.tuple_width(enc())
+            for name, enc in (
+                ("fixed", FixedByteEncoding),
+                ("varbyte", VarByteEncoding),
+                ("dictionary", DictionaryEncoding),
+            )
+        }
+        assert widths["dictionary"] < widths["fixed"] < widths["varbyte"]
+
+
+class TestWorkloadY:
+    def test_cardinalities(self):
+        wl = workload_y(scale_denominator=512)
+        assert wl.table_r.total_rows == round(Y_PAPER["tuples_r"] / 512)
+        assert wl.table_s.total_rows == round(Y_PAPER["tuples_s"] / 512)
+
+    def test_output_amplification(self):
+        """Output ~ 5.4x the input cardinality, as published."""
+        wl = workload_y(scale_denominator=512, num_nodes=4)
+        result = GraceHashJoin().run(
+            wl.cluster, wl.table_r, wl.table_s, JoinSpec(materialize=False)
+        )
+        assert result.output_rows == wl.expected_output_rows
+        amplification = result.output_rows / (
+            wl.table_r.total_rows + wl.table_s.total_rows
+        )
+        assert amplification == pytest.approx(5.4, rel=0.06)
+
+    def test_varbyte_tuple_widths(self):
+        wl = workload_y(scale_denominator=1024)
+        encoding = VarByteEncoding()
+        assert wl.table_r.schema.tuple_width(encoding) == pytest.approx(
+            Y_PAPER["row_bytes_r"]
+        )
+        assert wl.table_s.schema.tuple_width(encoding) == pytest.approx(
+            Y_PAPER["row_bytes_s"]
+        )
+
+    def test_inconsistent_repeats_rejected(self):
+        # 1x1 repeats would need more matched keys than R has tuples.
+        with pytest.raises(WorkloadError):
+            workload_y(repeats_r=1, repeats_s=1)
+
+    def test_invalid_ordering(self):
+        with pytest.raises(WorkloadError):
+            workload_y(ordering="sorted")
+
+
+class TestZipfWorkload:
+    def test_skew_zero_is_uniform(self):
+        from repro.workloads import zipf_workload
+
+        wl = zipf_workload(tuples_per_table=20_000, distinct_keys=2_000, skew=0.0)
+        keys = wl.table_r.all_keys()
+        counts = np.bincount(keys, minlength=2_000)
+        # Uniform draws: the hottest key stays near the mean.
+        assert counts.max() < 4 * counts.mean()
+
+    def test_skew_concentrates_frequency(self):
+        from repro.workloads import zipf_workload
+
+        flat = zipf_workload(tuples_per_table=20_000, distinct_keys=2_000, skew=0.0)
+        skewed = zipf_workload(tuples_per_table=20_000, distinct_keys=2_000, skew=1.2)
+        top_flat = np.bincount(flat.table_r.all_keys()).max()
+        top_skewed = np.bincount(skewed.table_r.all_keys()).max()
+        assert top_skewed > 5 * top_flat
+
+    def test_invalid_parameters(self):
+        from repro.workloads import zipf_workload
+
+        with pytest.raises(WorkloadError):
+            zipf_workload(skew=-1.0)
+        with pytest.raises(WorkloadError):
+            zipf_workload(distinct_keys=0)
+
+
+class TestTpch:
+    def test_cardinalities_follow_scale_factor(self):
+        from repro import Cluster
+        from repro.workloads import TPCH_BASE_ROWS, tpch_tables
+
+        cluster = Cluster(4)
+        tables = tpch_tables(cluster, scale_factor=0.01, seed=1)
+        assert tables["customer"].total_rows == TPCH_BASE_ROWS["customer"] // 100
+        assert tables["orders"].total_rows == TPCH_BASE_ROWS["orders"] // 100
+        # Lineitems per order are uniform 1..7 -> mean 4.
+        ratio = tables["lineitem"].total_rows / tables["orders"].total_rows
+        assert 3.5 < ratio < 4.5
+
+    def test_foreign_keys_resolve(self):
+        from repro import Cluster
+        from repro.workloads import tpch_tables
+
+        cluster = Cluster(4)
+        tables = tpch_tables(cluster, scale_factor=0.005, seed=2)
+        custkeys = tables["orders"].gathered().columns["o_custkey"]
+        assert custkeys.max() < tables["customer"].total_rows
+        orderkeys = tables["lineitem"].all_keys()
+        assert orderkeys.max() < tables["orders"].total_rows
+
+    def test_query_plan_over_tpch(self):
+        """A TPC-H Q3-style query runs end to end on the substrate."""
+        from repro import Cluster
+        from repro.query import (
+            Aggregate,
+            AggregateSpec,
+            ColumnPredicate,
+            Join,
+            Scan,
+            execute,
+        )
+        from repro.workloads import tpch_tables
+
+        cluster = Cluster(4)
+        tables = tpch_tables(cluster, scale_factor=0.002, seed=3)
+        plan = Aggregate(
+            Join(
+                Join(
+                    Scan(tables["lineitem"], ColumnPredicate("l_shipdate", ">", 1200)),
+                    Scan(tables["orders"], ColumnPredicate("o_orderdate", "<", 1200)),
+                    algorithm="auto",
+                    rekey_on="s.o_custkey",
+                ),
+                Scan(tables["customer"], ColumnPredicate("c_mktsegment", "==", 1)),
+                algorithm="auto",
+            ),
+            aggregates=(AggregateSpec("revenue", "sum", "r.r.l_extendedprice"),),
+        )
+        result = execute(plan, cluster)
+        assert result.output_rows > 0
+        assert result.network_bytes > 0
+        # Final groups are customers in the chosen segment.
+        assert result.output_rows <= tables["customer"].total_rows
+
+    def test_invalid_scale_factor(self):
+        from repro import Cluster
+        from repro.workloads import tpch_tables
+
+        with pytest.raises(WorkloadError):
+            tpch_tables(Cluster(2), scale_factor=0)
