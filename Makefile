@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-full
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tiny-scale perf gate: writes BENCH_joins.json and fails if any fused
+# kernel regresses more than 2x against benchmarks/bench_baseline.json.
+bench-smoke:
+	$(PYTHON) -m repro bench-smoke
+
+# Full Figure 3 workload at 1/256 paper scale (slow, ~minutes).
+bench-full:
+	$(PYTHON) -m repro bench-smoke scaled_tuples=3906250 repeats=2 warmup=1 baseline_path=/dev/null

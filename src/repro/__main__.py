@@ -6,6 +6,7 @@ Usage::
     python -m repro fig3                 # run one experiment
     python -m repro fig4 bars=1          # render as ASCII stacked bars
     python -m repro all                  # run everything (slow)
+    python -m repro bench-smoke          # tiny perf gate -> BENCH_joins.json
 
 Options after the experiment id are forwarded as ``key=value`` pairs,
 e.g. ``python -m repro fig3 scaled_tuples=50000``.
@@ -35,6 +36,10 @@ def main(argv: list[str] | None = None) -> int:
     command = argv[0]
     kwargs = dict(pair.split("=", 1) for pair in argv[1:] if "=" in pair)
     kwargs = {key: _parse_value(value) for key, value in kwargs.items()}
+    if command == "bench-smoke":
+        from .perf import bench_smoke
+
+        return bench_smoke(**kwargs)
     if command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

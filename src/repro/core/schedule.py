@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ScheduleError
+from ..fastpath import fused_enabled
 from ..util import segment_boundaries, segment_ids
 from .tracking import TrackingTable
 
@@ -261,7 +262,7 @@ def _direction_costs(
         seg_of_max = seg[max_positions]
         firsts = max_positions[segment_boundaries(seg_of_max)]
         first_max[firsts] = True
-    migrate = has_t & ~first_max & (delta < 0) & (t_holders[seg] > 0)
+    migrate = has_t & ~first_max & (delta < 0)
     savings = np.where(migrate, delta, 0.0)
     cost = base + np.add.reduceat(savings, starts)
 
@@ -275,11 +276,208 @@ def _direction_costs(
     return cost, migrate, dest
 
 
+#: Keys per block in the paired schedule path.  The per-key pipeline
+#: touches ~25 temporaries, so blocks of 2^15 keys keep the whole
+#: working set (~6 MB) cache-resident instead of streaming every
+#: operand through memory 100 times.  Measured optimum on the bench
+#: box (smaller blocks pay python overhead, larger spill the cache).
+_PAIRED_BLOCK = 1 << 15
+
+
+def _both_direction_costs_paired(
+    starts: np.ndarray,
+    num_entries: int,
+    counts: np.ndarray,
+    nodes: np.ndarray,
+    t_nodes: np.ndarray,
+    size_r: np.ndarray,
+    size_s: np.ndarray,
+    location_width: float,
+    allow_migration: bool,
+) -> tuple[tuple, tuple]:
+    """Both directions when every key has at most two tracking entries.
+
+    The dominant real shape (a key lives on one R node and one S node)
+    makes every segment reduction a single add/max of the segment's
+    first and optional second entry, so the whole optimization runs on
+    per-key arrays with no ``reduceat`` calls at all.  Phantom second
+    entries of single-entry keys are zero-masked, which is bit-exact
+    because every affected sum is non-negative or starts from the first
+    entry (``x + 0.0 == x`` away from ``-0.0``).
+
+    Every operation is elementwise per key, so the keys are processed in
+    cache-sized blocks; block boundaries cannot change any result.
+    """
+    num_keys = len(starts)
+    lw = location_width
+    cost_rs = np.empty(num_keys, dtype=np.float64)
+    cost_sr = np.empty(num_keys, dtype=np.float64)
+    mig_rs = np.zeros(num_entries, dtype=bool)
+    mig_sr = np.zeros(num_entries, dtype=bool)
+    dest_rs = np.full(num_keys, -1, dtype=np.int64)
+    dest_sr = np.full(num_keys, -1, dtype=np.int64)
+
+    for lo in range(0, num_keys, _PAIRED_BLOCK):
+        hi = min(lo + _PAIRED_BLOCK, num_keys)
+        two = counts[lo:hi] == 2
+        a = starts[lo:hi]
+        b = a + two
+        tn = t_nodes[lo:hi]
+
+        size_r_a, size_s_a = size_r[a], size_s[a]
+        size_r_b = np.where(two, size_r[b], 0.0)
+        size_s_b = np.where(two, size_s[b], 0.0)
+        has_r_a, has_s_a = size_r_a > 0, size_s_a > 0
+        has_r_b, has_s_b = size_r_b > 0, size_s_b > 0
+        nodes_a, nodes_b = nodes[a], nodes[b]
+        ns_a = nodes_a != tn
+        ns_b = nodes_b != tn
+
+        r_all = size_r_a + size_r_b
+        s_all = size_s_a + size_s_b
+        # Holder/node tallies are at most 2; int8 keeps them a byte wide
+        # and promotes to the identical float64 values in the cost terms.
+        r_holders = has_r_a.astype(np.int8) + has_r_b
+        s_holders = has_s_a.astype(np.int8) + has_s_b
+        r_nodes = (has_r_a & ns_a).astype(np.int8) + (has_r_b & ns_b)
+        s_nodes = (has_s_a & ns_a).astype(np.int8) + (has_s_b & ns_b)
+        r_local = np.where(has_s_a, size_r_a, 0.0) + np.where(has_s_b, size_r_b, 0.0)
+        s_local = np.where(has_r_a, size_s_a, 0.0) + np.where(has_r_b, size_s_b, 0.0)
+        base_rs = r_all * s_holders - r_local + r_nodes * s_holders * lw
+        base_sr = s_all * r_holders - s_local + s_nodes * r_holders * lw
+
+        if not allow_migration:
+            cost_rs[lo:hi] = base_rs
+            cost_sr[lo:hi] = base_sr
+            continue
+
+        size_sum_a = size_r_a + size_s_a
+        size_sum_b = size_r_b + size_s_b
+        disc_a = np.where(ns_a, lw, 0.0)
+        disc_b = np.where(ns_b, lw, 0.0)
+        second = b[two]
+
+        def one_direction(base, b_all, b_nodes, has_t_a, has_t_b, cost, mig, dest):
+            bn_lw = b_nodes * lw
+            delta_a = size_sum_a - b_all - bn_lw + disc_a
+            delta_b = size_sum_b - b_all - bn_lw + disc_b
+            stay_a = np.where(has_t_a, delta_a, -np.inf)
+            stay_b = np.where(has_t_b, delta_b, -np.inf)
+            maxima = np.maximum(stay_a, stay_b)
+            is_max_a = stay_a == maxima
+            first_b = (stay_b == maxima) & ~is_max_a
+            mig_a = has_t_a & ~is_max_a & (delta_a < 0)
+            mig_b = has_t_b & ~first_b & (delta_b < 0)
+            cost[lo:hi] = base + (
+                np.where(mig_a, delta_a, 0.0) + np.where(mig_b, delta_b, 0.0)
+            )
+            any_migration = mig_a | mig_b
+            dest[lo:hi] = np.where(
+                any_migration, np.where(is_max_a, nodes_a, nodes_b), np.int64(-1)
+            )
+            mig[a] = mig_a
+            mig[second] = mig_b[two]
+
+        one_direction(base_rs, r_all, r_nodes, has_s_a, has_s_b, cost_rs, mig_rs, dest_rs)
+        one_direction(base_sr, s_all, s_nodes, has_r_a, has_r_b, cost_sr, mig_sr, dest_sr)
+
+    if not allow_migration:
+        no_migration = np.zeros(num_entries, dtype=bool)
+        no_dest = np.full(num_keys, -1, dtype=np.int64)
+        return (cost_rs, no_migration, no_dest), (cost_sr, no_migration, no_dest)
+
+    return (cost_rs, mig_rs, dest_rs), (cost_sr, mig_sr, dest_sr)
+
+
+def _both_direction_costs_fused(
+    seg: np.ndarray,
+    starts: np.ndarray,
+    nodes: np.ndarray,
+    t_nodes: np.ndarray,
+    size_r: np.ndarray,
+    size_s: np.ndarray,
+    location_width: float,
+    allow_migration: bool,
+) -> tuple[tuple, tuple]:
+    """Both directions' costs and migration plans, sharing precomputation.
+
+    Bit-identical to calling :func:`_direction_costs` once per direction:
+    every per-element expression evaluates in the same operand order, so
+    near-tie direction choices cannot flip between the two forms.
+    ``t_nodes`` is per key; the per-entry expansion is only materialized
+    on the generic path — the paired path never needs it.
+    """
+    num_entries = len(seg)
+    counts = np.diff(np.append(starts, num_entries))
+    if int(counts.max()) <= 2:
+        return _both_direction_costs_paired(
+            starts,
+            num_entries,
+            counts,
+            nodes,
+            t_nodes,
+            size_r,
+            size_s,
+            location_width,
+            allow_migration,
+        )
+    t_node_of_entry = t_nodes[seg]
+    has_r = size_r > 0
+    has_s = size_s > 0
+    not_scheduler = nodes != t_node_of_entry
+    r_all = np.add.reduceat(size_r, starts)
+    s_all = np.add.reduceat(size_s, starts)
+    r_holders = np.add.reduceat(has_r, starts, dtype=np.int64)
+    s_holders = np.add.reduceat(has_s, starts, dtype=np.int64)
+    r_nodes = np.add.reduceat(has_r & not_scheduler, starts, dtype=np.int64)
+    s_nodes = np.add.reduceat(has_s & not_scheduler, starts, dtype=np.int64)
+    r_local = np.add.reduceat(np.where(has_s, size_r, 0.0), starts)
+    s_local = np.add.reduceat(np.where(has_r, size_s, 0.0), starts)
+    base_rs = r_all * s_holders - r_local + r_nodes * s_holders * location_width
+    base_sr = s_all * r_holders - s_local + s_nodes * r_holders * location_width
+
+    if not allow_migration:
+        no_migration = np.zeros(num_entries, dtype=bool)
+        no_dest = np.full(len(starts), -1, dtype=np.int64)
+        return (base_rs, no_migration, no_dest), (base_sr, no_migration, no_dest)
+
+    size_sum = size_r + size_s
+    scheduler_discount = np.where(not_scheduler, location_width, 0.0)
+    positions = np.arange(num_entries, dtype=np.int64)
+
+    def one_direction(base, b_all, b_nodes, has_t):
+        delta = (
+            size_sum
+            - b_all[seg]
+            - (b_nodes * location_width)[seg]
+            + scheduler_discount
+        )
+        stay_score = np.where(has_t, delta, -np.inf)
+        maxima = np.maximum.reduceat(stay_score, starts)
+        is_max = stay_score == maxima[seg]
+        first_pos = np.minimum.reduceat(
+            np.where(is_max, positions, num_entries), starts
+        )
+        first_max = np.zeros(num_entries, dtype=bool)
+        first_max[first_pos] = True
+        migrate = has_t & ~first_max & (delta < 0)
+        cost = base + np.add.reduceat(np.where(migrate, delta, 0.0), starts)
+        any_migration = np.logical_or.reduceat(migrate, starts)
+        dest = np.where(any_migration, nodes[first_pos], np.int64(-1))
+        return cost, migrate, dest
+
+    return (
+        one_direction(base_rs, r_all, r_nodes, has_s),
+        one_direction(base_sr, s_all, s_nodes, has_r),
+    )
+
+
 def generate_schedules(
     tracking: TrackingTable,
     location_width: float = 1.0,
     allow_migration: bool = True,
     forced_direction: str | None = None,
+    seg: np.ndarray | None = None,
 ) -> ScheduleSet:
     """Generate per-key schedules for the whole tracking table at once.
 
@@ -291,6 +489,10 @@ def generate_schedules(
     forced_direction:
         ``"RS"`` or ``"SR"`` pins every key to one direction (2-phase
         track join); ``None`` chooses per key.
+    seg:
+        Optional precomputed ``segment_ids(tracking.key_starts,
+        tracking.num_entries)``, so callers that already expanded the
+        segments don't pay for it again.
     """
     if forced_direction not in (None, "RS", "SR"):
         raise ScheduleError(f"invalid forced direction {forced_direction!r}")
@@ -303,29 +505,42 @@ def generate_schedules(
         return ScheduleSet(
             tracking, empty_b, empty_f, empty_f, empty_f, empty_b, empty_i
         )
-    seg = segment_ids(starts, num_entries)
-    t_node_of_entry = tracking.t_nodes[seg]
+    if seg is None:
+        seg = segment_ids(starts, num_entries)
 
-    cost_rs, mig_rs, dest_rs = _direction_costs(
-        seg,
-        starts,
-        tracking.nodes,
-        t_node_of_entry,
-        tracking.size_r,
-        tracking.size_s,
-        location_width,
-        allow_migration,
-    )
-    cost_sr, mig_sr, dest_sr = _direction_costs(
-        seg,
-        starts,
-        tracking.nodes,
-        t_node_of_entry,
-        tracking.size_s,
-        tracking.size_r,
-        location_width,
-        allow_migration,
-    )
+    if fused_enabled():
+        (cost_rs, mig_rs, dest_rs), (cost_sr, mig_sr, dest_sr) = _both_direction_costs_fused(
+            seg,
+            starts,
+            tracking.nodes,
+            tracking.t_nodes,
+            tracking.size_r,
+            tracking.size_s,
+            location_width,
+            allow_migration,
+        )
+    else:
+        t_node_of_entry = tracking.t_nodes[seg]
+        cost_rs, mig_rs, dest_rs = _direction_costs(
+            seg,
+            starts,
+            tracking.nodes,
+            t_node_of_entry,
+            tracking.size_r,
+            tracking.size_s,
+            location_width,
+            allow_migration,
+        )
+        cost_sr, mig_sr, dest_sr = _direction_costs(
+            seg,
+            starts,
+            tracking.nodes,
+            t_node_of_entry,
+            tracking.size_s,
+            tracking.size_r,
+            location_width,
+            allow_migration,
+        )
 
     if forced_direction == "RS":
         direction_rs = np.ones(len(starts), dtype=bool)

@@ -29,11 +29,12 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..fastpath import fused_enabled
 from ..joins.base import DistributedJoin, JoinSpec
 from ..joins.local import join_indices, local_join
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
-from ..util import segment_ids, segmented_cartesian
+from ..util import segment_ids, segmented_cartesian, stable_argsort_bounded
 from .messages import location_message_bytes
 from .schedule import ScheduleSet, generate_schedules
 from .tracking import run_tracking_phase
@@ -63,16 +64,34 @@ class _TrackJoinBase(DistributedJoin):
             cluster, table_r, table_s, spec, profile, with_counts=self.with_counts
         )
         key_width = table_r.schema.key_width(spec.encoding)
+        # The per-entry segment ids are needed by schedule generation and
+        # execution alike; expand them once and thread them through.
+        seg = segment_ids(tracking.key_starts, tracking.num_entries)
         if tracking.num_entries:
             # Schedule generation happens at the T nodes; its work is
             # linear in the number of tracked (key, node) entries.
             entry_footprint = key_width + spec.location_width + spec.count_width_r
-            seg = segment_ids(tracking.key_starts, tracking.num_entries)
-            per_tnode = np.bincount(
-                tracking.t_nodes[seg],
-                weights=np.full(tracking.num_entries, entry_footprint),
-                minlength=cluster.num_nodes,
-            )
+            if fused_enabled() and float(entry_footprint).is_integer():
+                # count x width: exact for integer widths, and avoids
+                # both the per-entry t-node gather and the constant
+                # weights array.
+                entries_per_key = np.diff(
+                    np.append(tracking.key_starts, tracking.num_entries)
+                )
+                per_tnode = (
+                    np.bincount(
+                        tracking.t_nodes,
+                        weights=entries_per_key.astype(np.float64),
+                        minlength=cluster.num_nodes,
+                    )
+                    * entry_footprint
+                )
+            else:
+                per_tnode = np.bincount(
+                    tracking.t_nodes[seg],
+                    weights=np.full(tracking.num_entries, entry_footprint),
+                    minlength=cluster.num_nodes,
+                )
             profile.add_cpu(
                 "Generate schedules and partition by node", "schedule", per_tnode
             )
@@ -86,9 +105,10 @@ class _TrackJoinBase(DistributedJoin):
             location_width=key_width + spec.location_width,
             allow_migration=self.allow_migration,
             forced_direction=self.forced_direction,
+            seg=seg,
         )
         return _execute_schedules(
-            cluster, table_r, table_s, spec, profile, schedules
+            cluster, table_r, table_s, spec, profile, schedules, seg=seg
         )
 
 
@@ -146,6 +166,7 @@ def _execute_schedules(
     spec: JoinSpec,
     profile: ExecutionProfile,
     sched: ScheduleSet,
+    seg: np.ndarray | None = None,
 ) -> list[LocalPartition]:
     """Run migrations, selective broadcasts, and final local joins."""
     num_nodes = cluster.num_nodes
@@ -168,8 +189,10 @@ def _execute_schedules(
     if tracking.num_entries == 0:
         return [LocalPartition.empty(out_names) for _ in range(num_nodes)]
 
-    seg = segment_ids(tracking.key_starts, tracking.num_entries)
+    if seg is None:
+        seg = segment_ids(tracking.key_starts, tracking.num_entries)
     entry_dir_rs = sched.direction_rs[seg]
+    entry_dir_sr = ~entry_dir_rs
     has_r = tracking.size_r > 0
     has_s = tracking.size_s > 0
 
@@ -177,7 +200,7 @@ def _execute_schedules(
     # otherwise).  For RS keys the S side consolidates, for SR keys R.
     for side, entry_mask in (
         ("S", sched.migrate & entry_dir_rs),
-        ("R", sched.migrate & ~entry_dir_rs),
+        ("R", sched.migrate & entry_dir_sr),
     ):
         _run_migrations(
             cluster, spec, profile, tracking, seg, sched, side, entry_mask,
@@ -186,21 +209,23 @@ def _execute_schedules(
     _apply_received_tuples(cluster, work)
 
     # ---- Phase B: location messages + selective broadcasts.
+    not_migrating = ~sched.migrate
     for b_side, t_side, key_is_this_dir in (
         ("R", "S", entry_dir_rs),
-        ("S", "R", ~entry_dir_rs),
+        ("S", "R", entry_dir_sr),
     ):
         has_b = has_r if b_side == "R" else has_s
         has_t = has_s if b_side == "R" else has_r
         b_idx = np.flatnonzero(key_is_this_dir & has_b)
-        d_idx = np.flatnonzero(key_is_this_dir & has_t & ~sched.migrate)
+        d_idx = np.flatnonzero(key_is_this_dir & has_t & not_migrating)
         if len(b_idx) == 0 or len(d_idx) == 0:
             continue
-        ia, ib = segmented_cartesian(seg[b_idx], seg[d_idx])
+        seg_b = seg[b_idx]
+        ia, ib = segmented_cartesian(seg_b, seg[d_idx])
         pair_src = tracking.nodes[b_idx][ia]
         pair_dst = tracking.nodes[d_idx][ib]
         pair_key = tracking.keys[b_idx][ia]
-        pair_t = tracking.t_nodes[seg[b_idx]][ia]
+        pair_t = tracking.t_nodes[seg_b][ia]
         step = f"Tran. {b_side} → {t_side} keys, nodes"
         _account_pair_messages(
             cluster, spec, profile, step, pair_t, pair_src, pair_dst, key_width
@@ -291,26 +316,41 @@ def _run_migrations(
 
     category = MessageClass.R_TUPLES if side == "R" else MessageClass.S_TUPLES
     transfer_step = f"{side} tuples ({side} migration)"
-    for node in np.unique(mig_nodes):
-        sel = mig_nodes == node
-        keys_here = mig_keys[sel]
-        dest_here = mig_dest[sel]
+    if fused_enabled():
+        # One radix sort splits the migrating entries by holder instead
+        # of one boolean scan per distinct holder; stability keeps each
+        # holder's entries in the identical order.
+        order = stable_argsort_bounded(mig_nodes, cluster.num_nodes)
+        bounds = np.searchsorted(mig_nodes[order], np.arange(cluster.num_nodes + 1))
+        node_groups = [
+            (node, order[bounds[node] : bounds[node + 1]])
+            for node in range(cluster.num_nodes)
+            if bounds[node + 1] > bounds[node]
+        ]
+    else:
+        node_groups = [
+            (node, np.flatnonzero(mig_nodes == node)) for node in np.unique(mig_nodes)
+        ]
+    for node, rows_sel in node_groups:
+        keys_here = mig_keys[rows_sel]
+        dest_here = mig_dest[rows_sel]
         local = work[side][node]
-        pair_pos, rows = join_indices(keys_here, local.keys)
+        right_partition = (
+            local if fused_enabled() and local.num_rows else None
+        )
+        pair_pos, rows = join_indices(
+            keys_here, local.keys, right_partition=right_partition
+        )
         if len(rows) == 0:
             continue
-        moving = local.take(rows)
         destinations = dest_here[pair_pos]
         keep = np.ones(local.num_rows, dtype=bool)
         keep[rows] = False
+        batches = local.split_by(destinations, cluster.num_nodes, rows=rows)
         work[side][node] = local.take(np.flatnonzero(keep))
-        order = np.argsort(destinations, kind="stable")
-        bounds = np.searchsorted(destinations[order], np.arange(cluster.num_nodes + 1))
-        for dst in range(cluster.num_nodes):
-            chosen = order[bounds[dst] : bounds[dst + 1]]
-            if len(chosen) == 0:
+        for dst, batch in enumerate(batches):
+            if batch is None:
                 continue
-            batch = moving.take(chosen)
             nbytes = batch.num_rows * widths[side]
             cluster.network.send(int(node), dst, category, nbytes, payload=batch)
             if int(node) == dst:  # pragma: no cover - migrations never self-send
@@ -353,25 +393,75 @@ def _account_pair_messages(
     """
     if len(senders) == 0:
         return
-    order = np.lexsort((node_values, receivers, senders))
-    s_sorted = senders[order]
-    r_sorted = receivers[order]
-    v_sorted = node_values[order]
-    change = np.empty(len(order), dtype=bool)
-    change[0] = True
-    np.logical_or(
-        s_sorted[1:] != s_sorted[:-1], r_sorted[1:] != r_sorted[:-1], out=change[1:]
-    )
-    starts = np.flatnonzero(change)
-    counts = np.diff(np.append(starts, len(order)))
-    for group_start, group_count in zip(starts, counts):
-        src = int(s_sorted[group_start])
-        dst = int(r_sorted[group_start])
-        values = v_sorted[group_start : group_start + group_count]
-        distinct = int(len(np.unique(values)))
+    n = cluster.num_nodes
+    if fused_enabled() and n * n * n <= (1 << 20):
+        # The (sender, receiver, value) triple domain is tiny: count
+        # every triple with one bincount pass and read link totals and
+        # per-link distinct values straight off the table — no sort.
+        composite = (senders * n + receivers) * n + node_values
+        triple_counts = np.bincount(composite, minlength=n * n * n).reshape(n * n, n)
+        link_counts = triple_counts.sum(axis=1)
+        link_distinct = np.count_nonzero(triple_counts, axis=1)
+        links = np.flatnonzero(link_counts)
+        counts = link_counts[links]
+        distinct_counts = link_distinct[links]
+        group_src = links // n
+        group_dst = links % n
+    elif fused_enabled() and n * n * n <= (1 << 62):
+        # Grouped distinct counting in one pass: sort the packed
+        # (sender, receiver, value) triple, find link-group boundaries,
+        # and count value changes per group — no per-group np.unique.
+        composite = (senders * n + receivers) * n + node_values
+        if n * n * n <= (1 << 16):
+            order = np.argsort(composite.astype(np.uint16), kind="stable")
+        else:
+            order = np.argsort(composite, kind="stable")
+        c_sorted = composite[order]
+        link = c_sorted // n
+        change = np.empty(len(order), dtype=bool)
+        change[0] = True
+        np.not_equal(link[1:], link[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        counts = np.diff(np.append(starts, len(order)))
+        value_change = np.empty(len(order), dtype=bool)
+        value_change[0] = True
+        np.not_equal(c_sorted[1:], c_sorted[:-1], out=value_change[1:])
+        # Per-group change totals via one cumsum pass (reduceat walks
+        # element-by-element; there are only ~n^2 groups).
+        cumulative = np.cumsum(value_change)
+        ends = np.append(starts[1:], len(order))
+        distinct_counts = cumulative[ends - 1] - cumulative[starts] + 1
+        group_src = link[starts] // n
+        group_dst = link[starts] % n
+    else:
+        order = np.lexsort((node_values, receivers, senders))
+        s_sorted = senders[order]
+        r_sorted = receivers[order]
+        v_sorted = node_values[order]
+        change = np.empty(len(order), dtype=bool)
+        change[0] = True
+        np.logical_or(
+            s_sorted[1:] != s_sorted[:-1], r_sorted[1:] != r_sorted[:-1], out=change[1:]
+        )
+        starts = np.flatnonzero(change)
+        counts = np.diff(np.append(starts, len(order)))
+        distinct_counts = np.array(
+            [
+                len(np.unique(v_sorted[start : start + count]))
+                for start, count in zip(starts, counts)
+            ],
+            dtype=np.int64,
+        )
+        group_src = s_sorted[starts]
+        group_dst = r_sorted[starts]
+    for src, dst, group_count, distinct in zip(
+        group_src, group_dst, counts, distinct_counts
+    ):
+        src = int(src)
+        dst = int(dst)
         nbytes = location_message_bytes(
             int(group_count),
-            distinct,
+            int(distinct),
             key_width,
             spec.location_width,
             group_by_node=spec.group_locations,
@@ -401,7 +491,10 @@ def _broadcast_tuples(
 ) -> None:
     """Each broadcast-side holder ships matching tuples per location pair."""
     num_nodes = cluster.num_nodes
-    order = np.argsort(pair_src, kind="stable")
+    if fused_enabled():
+        order = stable_argsort_bounded(pair_src, num_nodes)
+    else:
+        order = np.argsort(pair_src, kind="stable")
     bounds = np.searchsorted(pair_src[order], np.arange(num_nodes + 1))
     width = widths[b_side]
     step = f"Transfer {b_side} → {t_side} tuples"
@@ -417,7 +510,12 @@ def _broadcast_tuples(
         keys_here = pair_key[rows]
         dst_here = pair_dst[rows]
         local = work[b_side][src]
-        pair_pos, local_rows = join_indices(keys_here, local.keys)
+        right_partition = (
+            local if fused_enabled() and local.num_rows else None
+        )
+        pair_pos, local_rows = join_indices(
+            keys_here, local.keys, right_partition=right_partition
+        )
         profile.add_cpu_at(
             translate_step,
             "merge",
@@ -426,15 +524,14 @@ def _broadcast_tuples(
         )
         if len(local_rows) == 0:
             continue
-        batch_all = local.take(local_rows)
+        # One gather routes the matched tuples straight to their
+        # destination slices — no per-destination take() copies and no
+        # intermediate full materialization of the matched batch.
         destinations = dst_here[pair_pos]
-        d_order = np.argsort(destinations, kind="stable")
-        d_bounds = np.searchsorted(destinations[d_order], np.arange(num_nodes + 1))
-        for dst in range(num_nodes):
-            chosen = d_order[d_bounds[dst] : d_bounds[dst + 1]]
-            if len(chosen) == 0:
+        batches = local.split_by(destinations, num_nodes, rows=local_rows)
+        for dst, batch in enumerate(batches):
+            if batch is None:
                 continue
-            batch = batch_all.take(chosen)
             nbytes = batch.num_rows * width
             cluster.network.send(src, dst, categories[b_side], nbytes, payload=batch)
             if src == dst:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..fastpath import fused_enabled
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
 from .base import DistributedJoin, JoinSpec
@@ -58,10 +59,21 @@ class BroadcastJoin(DistributedJoin):
                     cluster, profile, step, category, src, dst, fragment, width
                 )
 
+        # On the fused path every node joins the same broadcast multiset,
+        # so the full table (and, via local_join, its key index) is
+        # assembled once and shared instead of re-concatenated and
+        # re-sorted per node.  Inboxes are still drained per node so the
+        # network sees identical deliveries.
+        shared_moving = (
+            LocalPartition.concat(list(moving.partitions)) if fused_enabled() else None
+        )
         output: list[LocalPartition] = []
         for node in range(cluster.num_nodes):
             received = self._received_rows(cluster, node, category)
-            full_moving = LocalPartition.concat([moving.partitions[node]] + received)
+            if shared_moving is not None:
+                full_moving = shared_moving
+            else:
+                full_moving = LocalPartition.concat([moving.partitions[node]] + received)
             local = staying.partitions[node]
             if self.broadcast == "R":
                 joined = local_join(full_moving, local, "r.", "s.")

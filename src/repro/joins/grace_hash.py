@@ -13,13 +13,10 @@ transfer the fragments, sort the received runs, and merge-join locally.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
-from ..util import hash_partition
 from .base import DistributedJoin, JoinSpec
 from .local import local_join
 
@@ -89,17 +86,12 @@ class GraceHashJoin(DistributedJoin):
             profile.add_cpu_at(
                 f"Hash partition {step}", "partition", src, fragment.num_rows * width
             )
-            destinations = hash_partition(fragment.keys, cluster.num_nodes, spec.hash_seed)
-            order = np.argsort(destinations, kind="stable")
-            boundaries = np.searchsorted(
-                destinations[order], np.arange(cluster.num_nodes + 1)
-            )
-            for dst in range(cluster.num_nodes):
-                rows = order[boundaries[dst] : boundaries[dst + 1]]
-                if len(rows) == 0:
+            batches = fragment.hash_split(cluster.num_nodes, spec.hash_seed)
+            for dst, batch in enumerate(batches):
+                if batch is None:
                     continue
                 self._send_rows(
-                    cluster, profile, step, category, src, dst, fragment.take(rows), width
+                    cluster, profile, step, category, src, dst, batch, width
                 )
         received = []
         for node in range(cluster.num_nodes):

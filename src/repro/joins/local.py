@@ -5,24 +5,105 @@ node-local equi-joins between key arrays.  The kernel here is a
 vectorized sort/merge join with full cartesian expansion per key — the
 same local strategy as the paper's implementation, which uses MSB radix
 sort followed by merge-join for all local joins.
+
+The kernels accept an optional cached :class:`~repro.storage.table.KeyIndex`
+so a partition that participates in several phases (tracking, broadcast
+matching, final merge-join) is sorted once and probed many times.  With
+the fused scatter path disabled (``repro.fastpath``), they fall back to
+the reference implementation that re-sorts on every call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..storage.table import LocalPartition
+from ..fastpath import fused_enabled
+from ..storage.table import KeyIndex, LocalPartition
 
-__all__ = ["join_indices", "local_join", "distinct_with_counts", "match_mask"]
+__all__ = [
+    "join_indices",
+    "local_join",
+    "join_cardinality",
+    "distinct_with_counts",
+    "match_mask",
+]
 
 
-def join_indices(keys_left: np.ndarray, keys_right: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+#: Direct addressing is attempted when the right key range is at most
+#: this many times the right row count (plus slack for tiny inputs).
+_DENSE_SPAN_FACTOR = 32
+#: Hard cap on the scratch lookup table (int32 entries).
+_DENSE_SPAN_CAP = 1 << 27
+
+#: Reusable lookup scratch; every entry is -1 between calls, so a call
+#: only pays to scatter its own right keys in and back out instead of
+#: clearing the whole table with a fresh ``np.full``.
+_dense_scratch = np.empty(0, dtype=np.int32)
+
+
+def _dense_unique_join(
+    keys_left: np.ndarray, keys_right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Direct-address probe for dense, duplicate-free right keys.
+
+    When the right key range is close to the right cardinality, one
+    scatter into a positional lookup table plus one gather replaces
+    both the sort and the binary search.  Returns the exact arrays the
+    sorted unique-right path would produce, or ``None`` when the keys
+    are too sparse or contain duplicates.
+    """
+    global _dense_scratch
+    base = int(keys_right.min())
+    span = int(keys_right.max()) - base + 1
+    if span > min(_DENSE_SPAN_FACTOR * len(keys_right) + 1024, _DENSE_SPAN_CAP):
+        return None
+    if len(_dense_scratch) < span:
+        _dense_scratch = np.full(
+            max(span, 2 * len(_dense_scratch)), -1, dtype=np.int32
+        )
+    lookup = _dense_scratch[:span]
+    shifted_right = keys_right - base
+    right_ids = np.arange(len(keys_right), dtype=np.int32)
+    lookup[shifted_right] = right_ids
+    # Duplicate right keys overwrite each other's slot; detecting the
+    # mismatch on read-back is one small gather instead of a scan of
+    # the whole span.
+    if not bool((lookup[shifted_right] == right_ids).all()):
+        lookup[shifted_right] = -1
+        return None
+    shifted = keys_left - base
+    in_range = (shifted >= 0) & (shifted < span)
+    candidate = lookup[np.where(in_range, shifted, 0)]
+    hit = in_range & (candidate >= 0)
+    left_idx = np.flatnonzero(hit)
+    right_idx = candidate[left_idx].astype(np.int64)
+    lookup[shifted_right] = -1
+    return left_idx, right_idx
+
+
+def join_indices(
+    keys_left: np.ndarray,
+    keys_right: np.ndarray,
+    right_index: KeyIndex | None = None,
+    right_partition: "LocalPartition | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """All index pairs ``(i, j)`` with ``keys_left[i] == keys_right[j]``.
 
     Implements the cartesian product per key: a key appearing ``a`` times
     on the left and ``b`` times on the right yields ``a*b`` pairs, which
     is the semantics of the general equi-join the paper targets (no
     foreign-key assumptions).
+
+    Parameters
+    ----------
+    right_index:
+        Optional cached index of ``keys_right`` (it must have been built
+        from the same array); reused instead of re-sorting.  Only
+        consulted on the fused path.
+    right_partition:
+        Optional partition owning ``keys_right``; lets the fused path
+        first try direct addressing and only then build (and cache) the
+        partition's key index.  Only consulted on the fused path.
 
     Returns
     -------
@@ -34,8 +115,35 @@ def join_indices(keys_left: np.ndarray, keys_right: np.ndarray) -> tuple[np.ndar
     if len(keys_left) == 0 or len(keys_right) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    order_right = np.argsort(keys_right, kind="stable")
-    sorted_right = keys_right[order_right]
+    if not fused_enabled():
+        right_index = None
+        right_partition = None
+    if right_index is None:
+        dense = _dense_unique_join(keys_left, keys_right) if fused_enabled() else None
+        if dense is not None:
+            return dense
+        if right_partition is not None:
+            right_index = right_partition.key_index()
+    if right_index is not None:
+        order_right = right_index.order
+        sorted_right = right_index.sorted_keys
+        right_unique = right_index.unique
+    else:
+        order_right = np.argsort(keys_right, kind="stable")
+        sorted_right = keys_right[order_right]
+        right_unique = fused_enabled() and (
+            len(sorted_right) <= 1 or bool((sorted_right[1:] != sorted_right[:-1]).all())
+        )
+    if right_unique:
+        # Single-probe path: each left key matches at most one right row,
+        # so one searchsorted plus an equality check replaces the
+        # lo/hi/repeat expansion machinery.
+        lo = np.searchsorted(sorted_right, keys_left, side="left")
+        clipped = np.minimum(lo, len(sorted_right) - 1)
+        hit = sorted_right[clipped] == keys_left
+        left_idx = np.flatnonzero(hit)
+        right_idx = order_right[clipped[left_idx]]
+        return left_idx, right_idx
     lo = np.searchsorted(sorted_right, keys_left, side="left")
     hi = np.searchsorted(sorted_right, keys_left, side="right")
     counts = hi - lo
@@ -62,9 +170,16 @@ def local_join(
     """Materialized equi-join of two local partitions.
 
     Output columns are the join key plus both sides' payload columns,
-    name-prefixed to avoid collisions.
+    name-prefixed to avoid collisions.  On the fused path the right
+    partition's cached key index is (built and) reused, so joining the
+    same partition repeatedly never re-sorts it.
     """
-    left_idx, right_idx = join_indices(left.keys, right.keys)
+    right_partition = None
+    if fused_enabled() and right.num_rows and left.num_rows:
+        right_partition = right
+    left_idx, right_idx = join_indices(
+        left.keys, right.keys, right_partition=right_partition
+    )
     columns: dict[str, np.ndarray] = {}
     for name, values in left.columns.items():
         columns[left_prefix + name] = values[left_idx]
@@ -94,12 +209,23 @@ def distinct_with_counts(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return np.unique(np.asarray(keys, dtype=np.int64), return_counts=True)
 
 
-def match_mask(keys: np.ndarray, probe: np.ndarray) -> np.ndarray:
-    """Boolean mask of ``keys`` entries that appear in ``probe``."""
+def match_mask(
+    keys: np.ndarray,
+    probe: np.ndarray,
+    probe_index: KeyIndex | None = None,
+) -> np.ndarray:
+    """Boolean mask of ``keys`` entries that appear in ``probe``.
+
+    ``probe_index`` optionally supplies ``probe``'s cached sorted keys so
+    repeated membership tests against one partition skip the sort.
+    """
     keys = np.asarray(keys, dtype=np.int64)
     if len(probe) == 0:
         return np.zeros(len(keys), dtype=bool)
-    sorted_probe = np.sort(np.asarray(probe, dtype=np.int64))
+    if fused_enabled() and probe_index is not None:
+        sorted_probe = probe_index.sorted_keys
+    else:
+        sorted_probe = np.sort(np.asarray(probe, dtype=np.int64))
     positions = np.searchsorted(sorted_probe, keys, side="left")
     positions = np.minimum(positions, len(sorted_probe) - 1)
     return sorted_probe[positions] == keys

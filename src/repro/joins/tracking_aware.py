@@ -25,6 +25,7 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..fastpath import fused_enabled
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
 from ..util import hash_partition
@@ -59,15 +60,30 @@ def _scatter_keys(
         )
         if partition.num_rows == 0:
             continue
-        destinations = hash_partition(partition.keys, cluster.num_nodes, spec.hash_seed)
-        order = np.argsort(destinations, kind="stable")
-        bounds = np.searchsorted(destinations[order], np.arange(cluster.num_nodes + 1))
+        if fused_enabled():
+            plan = partition.hash_scatter_plan(cluster.num_nodes, spec.hash_seed)
+            order, bounds = plan.order, plan.bounds
+            gathered_keys = partition.keys[order]
+        else:
+            destinations = hash_partition(
+                partition.keys, cluster.num_nodes, spec.hash_seed
+            )
+            order = np.argsort(destinations, kind="stable")
+            bounds = np.searchsorted(
+                destinations[order], np.arange(cluster.num_nodes + 1)
+            )
+            gathered_keys = None
         for dst in range(cluster.num_nodes):
-            rows = order[bounds[dst] : bounds[dst + 1]]
+            lo, hi = bounds[dst], bounds[dst + 1]
+            rows = order[lo:hi]
             if len(rows) == 0:
                 continue
             payload = LocalPartition(
-                keys=partition.keys[rows],
+                keys=(
+                    gathered_keys[lo:hi]
+                    if gathered_keys is not None
+                    else partition.keys[rows]
+                ),
                 columns={
                     "node": np.full(len(rows), src, dtype=np.int64),
                     "pos": rows.astype(np.int64),
@@ -266,39 +282,31 @@ class TrackingAwareHashJoin(DistributedJoin):
             pass
 
         # Narrow nodes ship (key + narrow payload) to each destination.
-        arrivals: dict[int, list[LocalPartition]] = {}
+        # Each job's destination split is computed once (a single fused
+        # gather) and reused by the send pass and the arrivals pass.
+        job_batches: list[tuple[int, int, LocalPartition]] = []
         for src, jobs in send_jobs.items():
             partition = narrow_table.partitions[src]
             for _t_node, positions, destinations in jobs:
-                order = np.argsort(destinations, kind="stable")
-                bounds = np.searchsorted(
-                    destinations[order], np.arange(cluster.num_nodes + 1)
+                batches = partition.split_by(
+                    destinations, cluster.num_nodes, rows=positions
                 )
-                for dst in range(cluster.num_nodes):
-                    rows = order[bounds[dst] : bounds[dst + 1]]
-                    if len(rows) == 0:
+                for dst, batch in enumerate(batches):
+                    if batch is None:
                         continue
-                    batch = partition.take(positions[rows])
-                    nbytes = len(rows) * narrow_width
-                    cluster.network.send(src, dst, narrow_category, nbytes, payload=batch)
-                    if src == dst:
-                        profile.add_local("Local copy narrow tuples", src, nbytes)
-                    else:
-                        profile.add_net_at("Transfer narrow tuples", src, nbytes)
+                    job_batches.append((src, dst, batch))
+        for src, dst, batch in job_batches:
+            nbytes = batch.num_rows * narrow_width
+            cluster.network.send(src, dst, narrow_category, nbytes, payload=batch)
+            if src == dst:
+                profile.add_local("Local copy narrow tuples", src, nbytes)
+            else:
+                profile.add_net_at("Transfer narrow tuples", src, nbytes)
         for _n, _m in cluster.network.deliver_all():
             pass
-        for src, jobs in send_jobs.items():
-            partition = narrow_table.partitions[src]
-            for _t_node, positions, destinations in jobs:
-                order = np.argsort(destinations, kind="stable")
-                bounds = np.searchsorted(
-                    destinations[order], np.arange(cluster.num_nodes + 1)
-                )
-                for dst in range(cluster.num_nodes):
-                    rows = order[bounds[dst] : bounds[dst + 1]]
-                    if len(rows) == 0:
-                        continue
-                    arrivals.setdefault(dst, []).append(partition.take(positions[rows]))
+        arrivals: dict[int, list[LocalPartition]] = {}
+        for _src, dst, batch in job_batches:
+            arrivals.setdefault(dst, []).append(batch)
 
         # Rejoin at the wide nodes: selected local tuples vs arrivals.
         output = []

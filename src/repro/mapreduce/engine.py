@@ -153,13 +153,10 @@ class MapReduceJob:
                         f"partitioner of channel {channel.name!r} returned "
                         f"{len(destinations)} destinations for {mapped.num_rows} records"
                     )
-            order = np.argsort(destinations, kind="stable")
-            bounds = np.searchsorted(destinations[order], np.arange(cluster.num_nodes + 1))
-            for dst in range(cluster.num_nodes):
-                rows = order[bounds[dst] : bounds[dst + 1]]
-                if len(rows) == 0:
+            batches = mapped.split_by(destinations, cluster.num_nodes)
+            for dst, batch in enumerate(batches):
+                if batch is None:
                     continue
-                batch = mapped.take(rows)
                 nbytes = batch.num_rows * channel.record_width
                 cluster.network.send(
                     node, dst, channel.category, nbytes, payload=(channel.name, batch)
@@ -225,14 +222,14 @@ class MapReduceJob:
             record_idx, destinations = self.output_router(node, outputs[node])
             record_idx = np.asarray(record_idx, dtype=np.int64)
             destinations = np.asarray(destinations, dtype=np.int64)
-            routed = outputs[node].take(record_idx)
-            order = np.argsort(destinations, kind="stable")
-            bounds = np.searchsorted(destinations[order], np.arange(cluster.num_nodes + 1))
-            for dst in range(cluster.num_nodes):
-                rows = order[bounds[dst] : bounds[dst + 1]]
-                if len(rows) == 0:
+            # The routed expansion and the per-destination selection fuse
+            # into one gather on the fast path.
+            batches = outputs[node].split_by(
+                destinations, cluster.num_nodes, rows=record_idx
+            )
+            for dst, batch in enumerate(batches):
+                if batch is None:
                     continue
-                batch = routed.take(rows)
                 nbytes = batch.num_rows * self.output_width
                 cluster.network.send(
                     node, dst, self.output_category, nbytes, payload=("__out__", batch)

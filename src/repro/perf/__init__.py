@@ -1,0 +1,21 @@
+"""Performance measurement and regression gating for the fast path."""
+
+from .bench import (
+    bench_joins,
+    bench_kernels,
+    bench_smoke,
+    best_time,
+    check_regressions,
+    peak_alloc,
+    write_report,
+)
+
+__all__ = [
+    "bench_joins",
+    "bench_kernels",
+    "bench_smoke",
+    "best_time",
+    "check_regressions",
+    "peak_alloc",
+    "write_report",
+]

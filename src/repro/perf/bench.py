@@ -1,0 +1,327 @@
+"""Perf-regression harness for the vectorized scatter fast path.
+
+The fast path (:mod:`repro.fastpath`) exists purely for wall-clock, so
+its gains have to be measured against the loop reference it replaced
+and defended against regressions.  This module provides both:
+
+* :func:`bench_kernels` — microbenchmarks of the storage primitives in
+  both modes (bounded-dtype argsort, index build, ``split_by``,
+  ``hash_split``, ``join_indices``).
+* :func:`bench_joins` — end-to-end wall-clock and peak allocation of
+  whole join algorithms on the Figure 3 workload, loop vs fused, with a
+  byte-exactness check that both modes produced the identical
+  per-message-class traffic.
+* :func:`bench_smoke` — the tiny-scale CI gate behind
+  ``python -m repro bench-smoke``: writes ``BENCH_joins.json`` and
+  fails when any fused kernel runs more than ``threshold`` times
+  slower than the committed baseline.
+
+Timing is best-of-N after warmup because the benchmark box is shared
+and noisy; peak allocation is measured in a separate tracemalloc pass
+so instrumentation never pollutes the wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from ..core.track_join import TrackJoin2, TrackJoin3, TrackJoin4
+from ..encoding import DictionaryEncoding
+from ..fastpath import FUSED, LOOP, use_scatter_mode
+from ..joins.base import JoinSpec
+from ..joins.broadcast import BroadcastJoin
+from ..joins.grace_hash import GraceHashJoin
+from ..joins.local import join_indices
+from ..storage.table import LocalPartition
+from ..util import hash_partition, stable_argsort_bounded
+from ..workloads.synthetic import unique_keys_workload
+
+__all__ = [
+    "best_time",
+    "peak_alloc",
+    "bench_kernels",
+    "bench_joins",
+    "bench_smoke",
+    "check_regressions",
+    "write_report",
+]
+
+#: Algorithms the end-to-end bench compares, in report order.
+BENCH_ALGORITHMS = (
+    ("HJ", GraceHashJoin),
+    ("2TJ-RS", lambda: TrackJoin2("RS")),
+    ("2TJ-SR", lambda: TrackJoin2("SR")),
+    ("3TJ", TrackJoin3),
+    ("4TJ", TrackJoin4),
+    ("BJ-R", lambda: BroadcastJoin("R")),
+)
+
+
+def best_time(fn, repeats: int = 3, warmup: int = 1) -> float:
+    """Best wall-clock seconds of ``fn`` over ``repeats`` timed runs."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def peak_alloc(fn) -> int:
+    """Peak traced allocation bytes of one ``fn()`` call."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def _bench_spec() -> JoinSpec:
+    """The figure-reproduction spec the end-to-end bench runs under."""
+    return JoinSpec(
+        encoding=DictionaryEncoding(), materialize=False, group_locations=True
+    )
+
+
+# -- kernel microbenchmarks ---------------------------------------------
+
+
+def _kernel_cases(scaled_tuples: int, num_nodes: int, seed: int):
+    """(name, loop_fn, fused_fn) closures over one synthetic partition."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, max(1, scaled_tuples // 2), scaled_tuples).astype(np.int64)
+    part = LocalPartition(
+        keys=keys, columns={"rid": np.arange(scaled_tuples, dtype=np.int64)}
+    )
+    destinations = hash_partition(keys, num_nodes, seed)
+    probe = rng.permutation(keys)[: scaled_tuples // 4]
+
+    def argsort_loop():
+        np.argsort(destinations, kind="stable")
+
+    def argsort_fused():
+        stable_argsort_bounded(destinations, num_nodes)
+
+    def index_build_loop():
+        order = np.argsort(part.keys, kind="stable")
+        part.keys[order]
+
+    def index_build_fused():
+        part.invalidate_caches()
+        part.key_index()
+
+    def distinct_loop():
+        np.unique(part.keys, return_counts=True)
+
+    def distinct_fused():
+        part.invalidate_caches()
+        part.distinct_with_counts()
+
+    def split_loop():
+        with use_scatter_mode(LOOP):
+            part.split_by(destinations, num_nodes)
+
+    def split_fused():
+        with use_scatter_mode(FUSED):
+            part.split_by(destinations, num_nodes)
+
+    def hash_split_loop():
+        with use_scatter_mode(LOOP):
+            part.hash_split(num_nodes, seed)
+
+    def hash_split_fused():
+        with use_scatter_mode(FUSED):
+            part.hash_split(num_nodes, seed)
+
+    def join_loop():
+        with use_scatter_mode(LOOP):
+            join_indices(probe, part.keys)
+
+    def join_fused():
+        with use_scatter_mode(FUSED):
+            join_indices(probe, part.keys, right_index=part.key_index())
+
+    return [
+        ("stable_argsort", argsort_loop, argsort_fused),
+        ("index_build", index_build_loop, index_build_fused),
+        ("distinct_with_counts", distinct_loop, distinct_fused),
+        ("split_by", split_loop, split_fused),
+        ("hash_split", hash_split_loop, hash_split_fused),
+        ("join_indices", join_loop, join_fused),
+    ]
+
+
+def bench_kernels(
+    scaled_tuples: int = 200_000,
+    num_nodes: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> dict:
+    """Time every storage kernel in loop and fused mode."""
+    kernels = {}
+    for name, loop_fn, fused_fn in _kernel_cases(scaled_tuples, num_nodes, seed):
+        loop_s = best_time(loop_fn, repeats, warmup)
+        fused_s = best_time(fused_fn, repeats, warmup)
+        kernels[name] = {
+            "loop_seconds": loop_s,
+            "fused_seconds": fused_s,
+            "speedup": loop_s / fused_s if fused_s > 0 else float("inf"),
+        }
+    return kernels
+
+
+# -- end-to-end join benchmarks -----------------------------------------
+
+
+def bench_joins(
+    scaled_tuples: int = 250_000,
+    num_nodes: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    measure_memory: bool = True,
+    algorithms=BENCH_ALGORITHMS,
+) -> dict:
+    """Wall-clock loop vs fused for whole joins on the Fig. 3 workload.
+
+    Each mode gets its own workload instance (so fused-path caches never
+    leak into the loop baseline) but identical keys, placement, and
+    spec.  Timed repeats alternate between the modes so slow drifts of
+    the benchmark box hit both equally instead of biasing the ratio.
+    Both modes must produce byte-identical per-class traffic; a
+    mismatch raises instead of reporting a meaningless speedup.
+    """
+    spec = _bench_spec()
+    results = {}
+    for label, factory in algorithms:
+        runners = {}
+        per_mode = {}
+        for mode in (LOOP, FUSED):
+            with use_scatter_mode(mode):
+                workload = unique_keys_workload(
+                    num_nodes=num_nodes, scaled_tuples=scaled_tuples, seed=seed
+                )
+
+                def run(workload=workload):
+                    return factory().run(
+                        workload.cluster, workload.table_r, workload.table_s, spec
+                    )
+
+                runners[mode] = run
+                for _ in range(warmup):
+                    run()
+                per_mode[mode] = {"seconds": float("inf")}
+        for _ in range(repeats):
+            for mode in (LOOP, FUSED):
+                with use_scatter_mode(mode):
+                    start = time.perf_counter()
+                    runners[mode]()
+                    elapsed = time.perf_counter() - start
+                per_mode[mode]["seconds"] = min(per_mode[mode]["seconds"], elapsed)
+        for mode in (LOOP, FUSED):
+            with use_scatter_mode(mode):
+                traffic = {
+                    category.name: nbytes
+                    for category, nbytes in sorted(
+                        runners[mode]().traffic.by_class.items(),
+                        key=lambda kv: kv[0].name,
+                    )
+                }
+                peak = peak_alloc(runners[mode]) if measure_memory else None
+            per_mode[mode]["peak_bytes"] = peak
+            per_mode[mode]["traffic"] = traffic
+        if per_mode[LOOP]["traffic"] != per_mode[FUSED]["traffic"]:
+            raise AssertionError(
+                f"{label}: fused traffic diverged from loop reference: "
+                f"{per_mode[FUSED]['traffic']} != {per_mode[LOOP]['traffic']}"
+            )
+        results[label] = {
+            "loop_seconds": per_mode[LOOP]["seconds"],
+            "fused_seconds": per_mode[FUSED]["seconds"],
+            "speedup": per_mode[LOOP]["seconds"] / per_mode[FUSED]["seconds"],
+            "loop_peak_bytes": per_mode[LOOP]["peak_bytes"],
+            "fused_peak_bytes": per_mode[FUSED]["peak_bytes"],
+            "traffic_by_class": per_mode[FUSED]["traffic"],
+        }
+    return results
+
+
+def write_report(path: str | Path, payload: dict) -> None:
+    """Write one benchmark payload as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def check_regressions(
+    kernels: dict, baseline: dict, threshold: float = 2.0
+) -> list[str]:
+    """Fused kernels slower than ``threshold``x their committed baseline."""
+    failures = []
+    for name, entry in baseline.get("kernels", {}).items():
+        current = kernels.get(name)
+        if current is None:
+            failures.append(f"{name}: kernel missing from current run")
+            continue
+        limit = entry["fused_seconds"] * threshold
+        if current["fused_seconds"] > limit:
+            failures.append(
+                f"{name}: fused {current['fused_seconds']:.6f}s exceeds "
+                f"{threshold}x baseline {entry['fused_seconds']:.6f}s"
+            )
+    return failures
+
+
+def bench_smoke(
+    out_path: str | Path = "BENCH_joins.json",
+    baseline_path: str | Path = "benchmarks/bench_baseline.json",
+    scaled_tuples: int = 60_000,
+    num_nodes: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    threshold: float = 2.0,
+) -> int:
+    """Tiny-scale gate: bench kernels + joins, write JSON, check baseline."""
+    kernels = bench_kernels(scaled_tuples, num_nodes, seed, repeats, warmup)
+    joins = bench_joins(
+        scaled_tuples, num_nodes, seed, repeats, warmup, measure_memory=False
+    )
+    payload = {
+        "config": {
+            "scaled_tuples": scaled_tuples,
+            "num_nodes": num_nodes,
+            "seed": seed,
+            "repeats": repeats,
+            "warmup": warmup,
+        },
+        "kernels": kernels,
+        "joins": joins,
+    }
+    write_report(out_path, payload)
+    print(f"wrote {out_path}")
+    for label, row in joins.items():
+        print(
+            f"  {label:7s} loop {row['loop_seconds']:.4f}s  "
+            f"fused {row['fused_seconds']:.4f}s  ({row['speedup']:.2f}x)"
+        )
+    baseline_file = Path(baseline_path)
+    if not baseline_file.exists() or not baseline_file.read_text().strip():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    failures = check_regressions(
+        kernels, json.loads(baseline_file.read_text()), threshold
+    )
+    for failure in failures:
+        print(f"REGRESSION {failure}")
+    if not failures:
+        print(f"all kernels within {threshold}x of baseline")
+    return 1 if failures else 0

@@ -9,12 +9,14 @@ from .placement import (
     shuffled,
 )
 from .schema import Column, Schema
-from .table import DistributedTable, LocalPartition
+from .table import DistributedTable, KeyIndex, LocalPartition, ScatterPlan
 
 __all__ = [
     "Column",
     "Schema",
     "DistributedTable",
+    "KeyIndex",
+    "ScatterPlan",
     "LocalPartition",
     "round_robin",
     "random_uniform",

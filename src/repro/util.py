@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from .fastpath import fused_enabled
+
 __all__ = [
     "hash_partition",
     "mix64",
+    "stable_argsort_bounded",
     "segment_boundaries",
     "segment_sum",
     "segment_count",
@@ -67,7 +70,29 @@ def hash_partition(keys: np.ndarray, num_nodes: int, seed: int = 0) -> np.ndarra
     """
     if num_nodes <= 0:
         raise ValueError(f"num_nodes must be positive, got {num_nodes}")
-    return (mix64(keys, seed) % np.uint64(num_nodes)).astype(np.int64)
+    mixed = mix64(keys, seed)
+    if num_nodes & (num_nodes - 1) == 0:
+        # Power-of-two cluster sizes mask instead of dividing; identical
+        # values (x % 2**k == x & (2**k - 1) for unsigned x).
+        return (mixed & np.uint64(num_nodes - 1)).astype(np.int64)
+    return (mixed % np.uint64(num_nodes)).astype(np.int64)
+
+
+def stable_argsort_bounded(values: np.ndarray, upper: int) -> np.ndarray:
+    """Stable argsort of non-negative ints known to be below ``upper``.
+
+    Produces the exact permutation of ``np.argsort(values, kind="stable")``
+    but casts to the narrowest sufficient unsigned dtype first, which lets
+    numpy use radix sort (several times faster than mergesort on int64 for
+    the destination arrays scatters sort, whose domain is ``num_nodes``).
+    """
+    if upper <= (1 << 8):
+        return np.argsort(values.astype(np.uint8), kind="stable")
+    if upper <= (1 << 16):
+        return np.argsort(values.astype(np.uint16), kind="stable")
+    if upper <= (1 << 32):
+        return np.argsort(values.astype(np.uint32), kind="stable")
+    return np.argsort(values, kind="stable")
 
 
 def segment_boundaries(sorted_group_keys: np.ndarray) -> np.ndarray:
@@ -120,6 +145,25 @@ def segmented_cartesian(a_seg: np.ndarray, b_seg: np.ndarray) -> tuple[np.ndarra
     if len(a_seg) == 0 or len(b_seg) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
+    if fused_enabled() and len(b_seg) and bool((b_seg[1:] > b_seg[:-1]).all()):
+        # Unique segments on the b side: every a element pairs with at
+        # most one b element, so the expansion degenerates to a sorted
+        # intersection.  Identical pairs in identical order either way.
+        nseg = int(max(int(a_seg[-1]), int(b_seg[-1]))) + 1
+        if nseg <= 4 * (len(a_seg) + len(b_seg)) + 1024:
+            # Dense segment ids: a direct-address rank table turns the
+            # intersection into one scatter and one gather, several
+            # times faster than per-element binary search.
+            b_rank = np.full(nseg, -1, dtype=np.int64)
+            b_rank[b_seg] = np.arange(len(b_seg), dtype=np.int64)
+            pos = b_rank[a_seg]
+            ia = np.flatnonzero(pos >= 0)
+            return ia, pos[ia]
+        pos = np.searchsorted(b_seg, a_seg, side="left")
+        clipped = np.minimum(pos, len(b_seg) - 1)
+        found = b_seg[clipped] == a_seg
+        ia = np.flatnonzero(found)
+        return ia, clipped[ia]
     nseg = int(max(a_seg.max(), b_seg.max())) + 1
     count_b = np.bincount(b_seg, minlength=nseg)
     rep = count_b[a_seg]
