@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-full
+.PHONY: test bench bench-smoke bench-scaling bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,11 @@ bench:
 # kernel regresses more than 2x against benchmarks/bench_baseline.json.
 bench-smoke:
 	$(PYTHON) -m repro bench-smoke
+
+# End-to-end wall-clock scaling curve (1 -> 8 workers) for the Fig. 3
+# workload; merges a "scaling" section into BENCH_joins.json.
+bench-scaling:
+	$(PYTHON) -m repro bench-scaling
 
 # Full Figure 3 workload at 1/256 paper scale (slow, ~minutes).
 bench-full:

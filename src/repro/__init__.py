@@ -54,6 +54,14 @@ from .encoding import (
     VarByteEncoding,
 )
 from .errors import ReproError
+from .parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedArray,
+    ThreadExecutor,
+    resolve_executor,
+    set_default_workers,
+)
 from .joins import (
     BroadcastJoin,
     DistributedJoin,
@@ -82,6 +90,12 @@ __all__ = [
     "Network",
     "MessageClass",
     "TrafficLedger",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SharedArray",
+    "resolve_executor",
+    "set_default_workers",
     "Schema",
     "Column",
     "DistributedTable",

@@ -7,9 +7,12 @@ Usage::
     python -m repro fig4 bars=1          # render as ASCII stacked bars
     python -m repro all                  # run everything (slow)
     python -m repro bench-smoke          # tiny perf gate -> BENCH_joins.json
+    python -m repro bench-scaling        # 1->N worker scaling curve
 
 Options after the experiment id are forwarded as ``key=value`` pairs,
-e.g. ``python -m repro fig3 scaled_tuples=50000``.
+e.g. ``python -m repro fig3 scaled_tuples=50000``.  The special
+``workers=N`` option sets the default worker count for phase execution
+(equivalent to the ``REPRO_WORKERS`` environment variable).
 """
 
 from __future__ import annotations
@@ -36,10 +39,18 @@ def main(argv: list[str] | None = None) -> int:
     command = argv[0]
     kwargs = dict(pair.split("=", 1) for pair in argv[1:] if "=" in pair)
     kwargs = {key: _parse_value(value) for key, value in kwargs.items()}
+    if "workers" in kwargs:
+        from .parallel import set_default_workers
+
+        set_default_workers(int(kwargs.pop("workers")))
     if command == "bench-smoke":
         from .perf import bench_smoke
 
         return bench_smoke(**kwargs)
+    if command == "bench-scaling":
+        from .perf import bench_scaling_report
+
+        return bench_scaling_report(**kwargs)
     if command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

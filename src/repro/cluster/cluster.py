@@ -2,17 +2,24 @@
 
 A :class:`Cluster` is the execution context every distributed join runs
 in.  It owns the :class:`~repro.cluster.network.Network` (and therefore
-the traffic ledger) and a :class:`~repro.cluster.node.Node` per machine.
-Helper constructors build distributed tables directly onto the cluster.
+the traffic ledger), a :class:`~repro.cluster.node.Node` per machine,
+and the :class:`~repro.parallel.executor.PhaseExecutor` that decides
+how each phase's per-node work is scheduled (serial by default, thread
+workers when ``workers > 1``).  Helper constructors build distributed
+tables directly onto the cluster.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Sequence
+
 import numpy as np
 
 from ..errors import JoinConfigError
+from ..parallel.executor import PhaseExecutor, resolve_executor, run_phase
 from ..storage.schema import Schema
 from ..storage.table import DistributedTable
+from ..timing.profile import ExecutionProfile
 from .network import Network
 from .node import Node
 
@@ -20,16 +27,57 @@ __all__ = ["Cluster"]
 
 
 class Cluster:
-    """A fully connected cluster of ``num_nodes`` simulated machines."""
+    """A fully connected cluster of ``num_nodes`` simulated machines.
 
-    def __init__(self, num_nodes: int):
+    Parameters
+    ----------
+    workers:
+        Worker count for phase execution.  ``None`` uses the process
+        default (:func:`repro.parallel.set_default_workers` or the
+        ``REPRO_WORKERS`` environment variable, else 1 = serial).
+    executor:
+        Pre-built executor, overriding ``workers``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        workers: int | None = None,
+        executor: PhaseExecutor | None = None,
+    ):
         self.network = Network(num_nodes)
         self.nodes = [Node(i) for i in range(num_nodes)]
+        self.executor = executor if executor is not None else resolve_executor(workers)
 
     @property
     def num_nodes(self) -> int:
         """Number of machines in the cluster."""
         return self.network.num_nodes
+
+    @property
+    def workers(self) -> int:
+        """Worker count of the cluster's phase executor."""
+        return self.executor.workers
+
+    def set_workers(self, workers: int) -> None:
+        """Replace the phase executor with one of ``workers`` workers."""
+        self.executor.close()
+        self.executor = resolve_executor(workers)
+
+    def run_phase(
+        self,
+        fn: Callable[[int], object],
+        tasks: Sequence[int] | int | None = None,
+        profile: ExecutionProfile | None = None,
+    ) -> list:
+        """Run one phase of per-node work on this cluster's executor.
+
+        See :func:`repro.parallel.run_phase`: each task gets a private
+        network send lane (and profile lane), committed in task order at
+        the closing barrier, so results are deterministic for any worker
+        count.
+        """
+        return run_phase(self, fn, tasks=tasks, profile=profile)
 
     def reset(self) -> None:
         """Clear node scratch state and start a fresh traffic ledger."""

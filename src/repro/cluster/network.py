@@ -11,18 +11,47 @@ payload to the destination inbox and records its encoded size in a
 Local sends (``src == dst``) are delivered but accounted separately, the
 same way the paper's implementation separates "local copy" from "transfer"
 steps (Tables 3 and 4).
+
+Concurrent senders
+------------------
+The parallel engine runs many nodes' phase work at once, so accounting
+must stay deterministic under arbitrary thread interleaving.  During an
+open *phase* (:meth:`Network.begin_phase`), each task binds its own
+:class:`SendLane`: sends are staged into the lane's private message list
+and private ledger instead of touching shared state.  The phase barrier
+(:meth:`Network.end_phase`) commits lanes in task order — merging lane
+ledgers via :meth:`TrafficLedger.merge` and appending staged messages to
+the destination inboxes — so byte totals, ``by_link`` entries, and inbox
+ordering are bit-identical for every worker count and interleaving.
+Messages staged inside a phase only become visible to :meth:`deliver`
+after the barrier, which is exactly the paper's non-pipelined phase
+semantics.
+
+Zero-copy payloads
+------------------
+Payloads are handed to :meth:`send` by reference: operators pass numpy
+views (e.g. the slices produced by ``LocalPartition.split_by``) and the
+network never copies them.  The copy-on-conflict rule: a sender must not
+mutate a payload's underlying buffers after handing it to ``send``; a
+sender that intends to reuse or mutate the buffers passes ``copy=True``
+(or copies itself) so the network materializes a private snapshot at
+send time.  Receivers own what they are handed and must likewise treat
+it as immutable (they concatenate into fresh arrays when merging).
 """
 
 from __future__ import annotations
 
 import enum
+import math
+import threading
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from ..errors import NetworkError
 
-__all__ = ["MessageClass", "Message", "TrafficLedger", "Network"]
+__all__ = ["MessageClass", "Message", "TrafficLedger", "SendLane", "Network"]
 
 
 class MessageClass(enum.Enum):
@@ -62,6 +91,8 @@ class Message:
         exactly as the paper's simulations do.
     payload:
         Arbitrary python/numpy content consumed by the receiving operator.
+        Handed over zero-copy; see the module notes for the
+        copy-on-conflict rule.
     """
 
     src: int
@@ -108,21 +139,44 @@ class TrafficLedger:
         """Human-readable byte breakdown keyed by message-class value."""
         return {c.value: float(self.by_class.get(c, 0.0)) for c in MessageClass}
 
+    def merge(self, other: "TrafficLedger") -> "TrafficLedger":
+        """Accumulate ``other`` into this ledger in place; returns ``self``.
+
+        Merging is order-insensitive for the dyadic-rational sizes the
+        encodings produce (all sums are exact in float64), which is what
+        lets the phase barrier combine per-worker ledgers into totals
+        identical to a serial run.
+        """
+        for category, nbytes in other.by_class.items():
+            self.by_class[category] += nbytes
+        for link, nbytes in other.by_link.items():
+            self.by_link[link] += nbytes
+        for node, nbytes in other.sent_by_node.items():
+            self.sent_by_node[node] += nbytes
+        for node, nbytes in other.received_by_node.items():
+            self.received_by_node[node] += nbytes
+        self.local_bytes += other.local_bytes
+        self.message_count += other.message_count
+        return self
+
     def merged_with(self, other: "TrafficLedger") -> "TrafficLedger":
         """Return a new ledger combining this one and ``other``."""
-        merged = TrafficLedger()
-        for ledger in (self, other):
-            for category, nbytes in ledger.by_class.items():
-                merged.by_class[category] += nbytes
-            for link, nbytes in ledger.by_link.items():
-                merged.by_link[link] += nbytes
-            for node, nbytes in ledger.sent_by_node.items():
-                merged.sent_by_node[node] += nbytes
-            for node, nbytes in ledger.received_by_node.items():
-                merged.received_by_node[node] += nbytes
-            merged.local_bytes += ledger.local_bytes
-            merged.message_count += ledger.message_count
-        return merged
+        return TrafficLedger().merge(self).merge(other)
+
+
+class SendLane:
+    """Per-task staging buffer used while a network phase is open.
+
+    A lane collects one task's outgoing messages and their byte
+    accounting privately, so concurrent tasks never contend on shared
+    state; the phase barrier commits lanes in task order.
+    """
+
+    __slots__ = ("messages", "ledger")
+
+    def __init__(self) -> None:
+        self.messages: list[Message] = []
+        self.ledger = TrafficLedger()
 
 
 class Network:
@@ -142,12 +196,62 @@ class Network:
         self.num_nodes = num_nodes
         self.ledger = TrafficLedger()
         self._inboxes: list[list[Message]] = [[] for _ in range(num_nodes)]
+        self._phase_lanes: list[SendLane] | None = None
+        self._tls = threading.local()
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
             raise NetworkError(
                 f"node index {node} out of range for {self.num_nodes}-node cluster"
             )
+
+    # -- phases and lanes ------------------------------------------------
+
+    def begin_phase(self, num_lanes: int) -> list[SendLane]:
+        """Open a phase with ``num_lanes`` staging lanes (one per task).
+
+        While the phase is open, sends from a thread bound to a lane
+        (:meth:`bind_lane`) are staged in that lane; unbound sends (the
+        coordinating thread) keep immediate semantics, which is safe
+        because the coordinator is single-threaded and runs at fixed
+        points relative to the barrier.
+        """
+        if self._phase_lanes is not None:
+            raise NetworkError("a network phase is already open (missing barrier?)")
+        self._phase_lanes = [SendLane() for _ in range(num_lanes)]
+        return self._phase_lanes
+
+    @contextmanager
+    def bind_lane(self, lane: SendLane):
+        """Route this thread's sends into ``lane`` for the duration."""
+        previous = getattr(self._tls, "lane", None)
+        self._tls.lane = lane
+        try:
+            yield lane
+        finally:
+            self._tls.lane = previous
+
+    def end_phase(self) -> None:
+        """Barrier: commit all lanes in task order and close the phase.
+
+        Lane ledgers merge into the master ledger and staged messages
+        append to the destination inboxes, both in lane (= task) order,
+        making the committed state independent of execution order.
+        """
+        lanes = self._phase_lanes
+        if lanes is None:
+            raise NetworkError("no network phase is open")
+        self._phase_lanes = None
+        for lane in lanes:
+            self.ledger.merge(lane.ledger)
+            for msg in lane.messages:
+                self._inboxes[msg.dst].append(msg)
+
+    def abort_phase(self) -> None:
+        """Discard all staged lanes (error path; accounting unwinds)."""
+        self._phase_lanes = None
+
+    # -- sending ---------------------------------------------------------
 
     def send(
         self,
@@ -157,20 +261,68 @@ class Network:
         nbytes: float,
         payload: Any = None,
     ) -> None:
-        """Send one message from ``src`` to ``dst`` and account its size."""
+        """Send one message from ``src`` to ``dst`` and account its size.
+
+        The payload is handed over zero-copy (see the module notes for
+        the copy-on-conflict rule).  Inside an open phase with a bound
+        lane, the message is staged and becomes visible at the barrier.
+        """
         self._check_node(src)
         self._check_node(dst)
-        if nbytes < 0:
-            raise NetworkError(f"message size must be non-negative, got {nbytes}")
+        if not math.isfinite(nbytes) or nbytes < 0:
+            raise NetworkError(
+                f"message size must be finite and non-negative, got {nbytes}"
+            )
         msg = Message(src=src, dst=dst, category=category, nbytes=float(nbytes), payload=payload)
+        lane: SendLane | None = getattr(self._tls, "lane", None)
+        if lane is not None:
+            lane.ledger.record(msg)
+            lane.messages.append(msg)
+            return
         self.ledger.record(msg)
         self._inboxes[dst].append(msg)
+
+    def send_batches(
+        self,
+        src: int,
+        category: MessageClass,
+        batches: Sequence[Any],
+        width: float,
+        copy: bool = False,
+    ) -> list[tuple[int, float]]:
+        """Coalesced per-destination send of one scatter's batch list.
+
+        ``batches`` is indexed by destination (the shape produced by
+        ``LocalPartition.split_by``); ``None`` entries are skipped and
+        each remaining batch becomes exactly one message of
+        ``batch.num_rows * width`` bytes.  Payloads are handed off as
+        zero-copy views unless ``copy=True``, which snapshots each batch
+        for senders that will mutate the underlying buffers afterwards
+        (the copy-on-conflict rule).
+
+        Returns ``(dst, nbytes)`` for every message sent, in destination
+        order, so callers can account profile work without re-deriving
+        sizes.
+        """
+        sent: list[tuple[int, float]] = []
+        for dst, batch in enumerate(batches):
+            if batch is None:
+                continue
+            nbytes = batch.num_rows * width
+            self.send(src, dst, category, nbytes, payload=batch.copy() if copy else batch)
+            sent.append((dst, nbytes))
+        return sent
+
+    # -- delivery --------------------------------------------------------
 
     def deliver(self, dst: int) -> list[Message]:
         """Drain and return all messages queued for node ``dst``.
 
         Called by operators at a barrier: everything sent during the
-        preceding phase becomes visible at once.
+        preceding phase becomes visible at once.  Messages still staged
+        in an open phase's lanes are not included — they appear after
+        :meth:`end_phase`.  Concurrent delivery is safe for distinct
+        destinations (each inbox belongs to one node's task).
         """
         self._check_node(dst)
         messages, self._inboxes[dst] = self._inboxes[dst], []
@@ -184,10 +336,23 @@ class Network:
                 yield node, messages
 
     def pending_messages(self) -> int:
-        """Number of sent-but-undelivered messages (should be 0 after a join)."""
-        return sum(len(inbox) for inbox in self._inboxes)
+        """Number of sent-but-undelivered messages (should be 0 after a join).
+
+        Counts both committed inbox messages and messages staged in an
+        open phase's lanes.
+        """
+        pending = sum(len(inbox) for inbox in self._inboxes)
+        if self._phase_lanes is not None:
+            pending += sum(len(lane.messages) for lane in self._phase_lanes)
+        return pending
 
     def reset_ledger(self) -> TrafficLedger:
-        """Swap in a fresh ledger and return the old one."""
+        """Swap in a fresh ledger and return the old one.
+
+        Refuses while a phase is open: the old ledger would be missing
+        the staged lanes' bytes.
+        """
+        if self._phase_lanes is not None:
+            raise NetworkError("cannot reset the ledger while a phase is open")
         old, self.ledger = self.ledger, TrafficLedger()
         return old

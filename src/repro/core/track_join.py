@@ -236,8 +236,7 @@ def _execute_schedules(
         )
 
     # ---- Phase C: final local joins at every destination.
-    output: list[LocalPartition] = []
-    for node in range(num_nodes):
+    def join_node(node: int) -> LocalPartition:
         received: dict[str, list[LocalPartition]] = {"R": [], "S": []}
         for msg in cluster.network.deliver(node):
             if msg.category is MessageClass.R_TUPLES:
@@ -276,10 +275,10 @@ def _execute_schedules(
             )
             parts.append(joined)
         if parts:
-            output.append(LocalPartition.concat(parts))
-        else:
-            output.append(LocalPartition.empty(out_names))
-    return output
+            return LocalPartition.concat(parts)
+        return LocalPartition.empty(out_names)
+
+    return cluster.run_phase(join_node, profile=profile)
 
 
 def _run_migrations(
@@ -331,7 +330,8 @@ def _run_migrations(
         node_groups = [
             (node, np.flatnonzero(mig_nodes == node)) for node in np.unique(mig_nodes)
         ]
-    for node, rows_sel in node_groups:
+    def migrate_holder(group: int) -> None:
+        node, rows_sel = node_groups[group]
         keys_here = mig_keys[rows_sel]
         dest_here = mig_dest[rows_sel]
         local = work[side][node]
@@ -342,7 +342,7 @@ def _run_migrations(
             keys_here, local.keys, right_partition=right_partition
         )
         if len(rows) == 0:
-            continue
+            return
         destinations = dest_here[pair_pos]
         keep = np.ones(local.num_rows, dtype=bool)
         keep[rows] = False
@@ -360,10 +360,13 @@ def _run_migrations(
                     f"Transfer {side} → {other} tuples", int(node), nbytes
                 )
 
+    cluster.run_phase(migrate_holder, tasks=len(node_groups), profile=profile)
+
 
 def _apply_received_tuples(cluster: Cluster, work: dict[str, list[LocalPartition]]) -> None:
     """Barrier after migration: append received tuples to local fragments."""
-    for node in range(cluster.num_nodes):
+
+    def absorb(node: int) -> None:
         extra: dict[str, list[LocalPartition]] = {"R": [], "S": []}
         for msg in cluster.network.deliver(node):
             if msg.category is MessageClass.R_TUPLES:
@@ -373,6 +376,8 @@ def _apply_received_tuples(cluster: Cluster, work: dict[str, list[LocalPartition
         for side in ("R", "S"):
             if extra[side]:
                 work[side][node] = LocalPartition.concat([work[side][node]] + extra[side])
+
+    cluster.run_phase(absorb)
 
 
 def _account_pair_messages(
@@ -503,10 +508,10 @@ def _broadcast_tuples(
         f"Merge-join {b_side} → {t_side} keys, nodes ⇒ payloads "
         "and partition by node"
     )
-    for src in range(num_nodes):
+    def broadcast_holder(src: int) -> None:
         rows = order[bounds[src] : bounds[src + 1]]
         if len(rows) == 0:
-            continue
+            return
         keys_here = pair_key[rows]
         dst_here = pair_dst[rows]
         local = work[b_side][src]
@@ -523,18 +528,17 @@ def _broadcast_tuples(
             len(rows) * (key_width + spec.location_width) + len(local_rows) * width,
         )
         if len(local_rows) == 0:
-            continue
+            return
         # One gather routes the matched tuples straight to their
         # destination slices — no per-destination take() copies and no
         # intermediate full materialization of the matched batch.
         destinations = dst_here[pair_pos]
         batches = local.split_by(destinations, num_nodes, rows=local_rows)
-        for dst, batch in enumerate(batches):
-            if batch is None:
-                continue
-            nbytes = batch.num_rows * width
-            cluster.network.send(src, dst, categories[b_side], nbytes, payload=batch)
+        sent = cluster.network.send_batches(src, categories[b_side], batches, width)
+        for dst, nbytes in sent:
             if src == dst:
                 profile.add_local(copy_step, src, nbytes)
             else:
                 profile.add_net_at(step, src, nbytes)
+
+    cluster.run_phase(broadcast_holder, profile=profile)

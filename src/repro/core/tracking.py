@@ -107,74 +107,86 @@ def run_tracking_phase(
     stream_nodes: list[int] = []
     r_entries = 0
 
-    for side, table, width, count_width in sides:
-        for node, partition in enumerate(table.partitions):
-            # Local sort + key aggregation (dedup) before tracking.
-            profile.add_cpu_at(
-                f"Sort local {side} tuples", "sort", node, partition.num_rows * width
-            )
-            if fused:
-                distinct, counts = partition.distinct_with_counts()
-            else:
-                distinct, counts = np.unique(partition.keys, return_counts=True)
-            profile.add_cpu_at(
-                "Aggregate keys", "aggregate", node, partition.num_rows * key_width
-            )
-            if len(distinct) == 0:
+    def track_partition(task: int):
+        """Dedup + scatter one (side, node) partition; returns its stream."""
+        side, table, width, count_width = sides[task // num_nodes]
+        node = task % num_nodes
+        partition = table.partitions[node]
+        # Local sort + key aggregation (dedup) before tracking.
+        profile.add_cpu_at(
+            f"Sort local {side} tuples", "sort", node, partition.num_rows * width
+        )
+        if fused:
+            distinct, counts = partition.distinct_with_counts()
+        else:
+            distinct, counts = np.unique(partition.keys, return_counts=True)
+        profile.add_cpu_at(
+            "Aggregate keys", "aggregate", node, partition.num_rows * key_width
+        )
+        if len(distinct) == 0:
+            return None
+        sizes = counts.astype(np.float64) * width
+        # Ship (key [, count]) entries to each key's scheduling node.
+        profile.add_cpu_at(
+            "Hash part. keys, counts",
+            "partition",
+            node,
+            len(distinct) * (key_width + (count_width if with_counts else 0)),
+        )
+        if fused:
+            plan = partition.distinct_scatter_plan(num_nodes, spec.hash_seed)
+            order, boundaries = plan.order, plan.bounds
+        else:
+            t_of_key = hash_partition(distinct, num_nodes, spec.hash_seed)
+            order = np.argsort(t_of_key, kind="stable")
+            boundaries = np.searchsorted(t_of_key[order], np.arange(num_nodes + 1))
+        for dst in range(num_nodes):
+            rows = order[boundaries[dst] : boundaries[dst + 1]]
+            if len(rows) == 0:
                 continue
-            sizes = counts.astype(np.float64) * width
-            # Ship (key [, count]) entries to each key's scheduling node.
-            profile.add_cpu_at(
-                "Hash part. keys, counts",
-                "partition",
-                node,
-                len(distinct) * (key_width + (count_width if with_counts else 0)),
+            if fused and not spec.delta_keys:
+                # Plain-coded tracking messages are sized purely by
+                # entry count; skip materializing the key groups.
+                nbytes = len(rows) * key_width + len(rows) * (
+                    count_width if with_counts else 0.0
+                )
+            else:
+                nbytes = tracking_message_bytes(
+                    distinct[rows],
+                    key_width,
+                    count_width if with_counts else 0.0,
+                    delta_keys=spec.delta_keys,
+                )
+            cluster.network.send(
+                node, dst, MessageClass.KEYS_COUNTS, nbytes, payload=None
             )
-            if fused:
-                plan = partition.distinct_scatter_plan(num_nodes, spec.hash_seed)
-                order, boundaries = plan.order, plan.bounds
+            if node == dst:
+                profile.add_local("Local copy key, count", node, nbytes)
             else:
-                t_of_key = hash_partition(distinct, num_nodes, spec.hash_seed)
-                order = np.argsort(t_of_key, kind="stable")
-                boundaries = np.searchsorted(t_of_key[order], np.arange(num_nodes + 1))
-            for dst in range(num_nodes):
-                rows = order[boundaries[dst] : boundaries[dst + 1]]
-                if len(rows) == 0:
-                    continue
-                if fused and not spec.delta_keys:
-                    # Plain-coded tracking messages are sized purely by
-                    # entry count; skip materializing the key groups.
-                    nbytes = len(rows) * key_width + len(rows) * (
-                        count_width if with_counts else 0.0
-                    )
-                else:
-                    nbytes = tracking_message_bytes(
-                        distinct[rows],
-                        key_width,
-                        count_width if with_counts else 0.0,
-                        delta_keys=spec.delta_keys,
-                    )
-                cluster.network.send(
-                    node, dst, MessageClass.KEYS_COUNTS, nbytes, payload=None
-                )
-                if node == dst:
-                    profile.add_local("Local copy key, count", node, nbytes)
-                else:
-                    profile.add_net_at("Transfer key, count", node, nbytes)
-            all_keys.append(distinct)
-            if fused:
-                # The per-stream node id stays scalar until (and unless)
-                # the merge below actually needs it expanded.
-                stream_nodes.append(node)
-                stream_sizes.append(sizes)
-                if side == "R":
-                    r_entries += len(distinct)
-            else:
-                all_nodes.append(np.full(len(distinct), node, dtype=np.int64))
-                all_sizes[side].append(sizes)
-                all_sizes["S" if side == "R" else "R"].append(
-                    np.zeros(len(distinct), dtype=np.float64)
-                )
+                profile.add_net_at("Transfer key, count", node, nbytes)
+        return side, node, distinct, sizes
+
+    # One task per (side, node): R partitions first, then S, so the
+    # stream assembly below sees the same order as a serial nested loop.
+    streams = cluster.run_phase(track_partition, tasks=2 * num_nodes, profile=profile)
+    for stream in streams:
+        if stream is None:
+            continue
+        side, node, distinct, sizes = stream
+        all_keys.append(distinct)
+        if fused:
+            # The per-stream node id stays scalar until (and unless)
+            # the merge below actually needs it expanded.
+            stream_nodes.append(node)
+            stream_sizes.append(sizes)
+            if side == "R":
+                r_entries += len(distinct)
+        else:
+            all_nodes.append(np.full(len(distinct), node, dtype=np.int64))
+            all_sizes[side].append(sizes)
+            all_sizes["S" if side == "R" else "R"].append(
+                np.zeros(len(distinct), dtype=np.float64)
+            )
 
     # Drain the tracking inboxes (payloads carry no data; the union table
     # below is the logically-equivalent global state).

@@ -37,3 +37,7 @@ class CostModelError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was asked for an unsatisfiable configuration."""
+
+
+class ParallelError(ReproError):
+    """The parallel execution engine was misconfigured or misused."""

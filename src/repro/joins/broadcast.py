@@ -47,7 +47,7 @@ class BroadcastJoin(DistributedJoin):
             step = "S tuples"
         width = moving.schema.tuple_width(spec.encoding)
 
-        for src in range(cluster.num_nodes):
+        def scatter(src: int) -> None:
             fragment = moving.partitions[src]
             profile.add_cpu_at(
                 f"Scan local {step}", "partition", src, fragment.num_rows * width
@@ -59,16 +59,23 @@ class BroadcastJoin(DistributedJoin):
                     cluster, profile, step, category, src, dst, fragment, width
                 )
 
+        cluster.run_phase(scatter, profile=profile)
+
         # On the fused path every node joins the same broadcast multiset,
         # so the full table (and, via local_join, its key index) is
         # assembled once and shared instead of re-concatenated and
-        # re-sorted per node.  Inboxes are still drained per node so the
-        # network sees identical deliveries.
+        # re-sorted per node.  The index is built here, before the join
+        # phase fans out, so concurrent node tasks only ever read it.
+        # Inboxes are still drained per node so the network sees
+        # identical deliveries.
         shared_moving = (
             LocalPartition.concat(list(moving.partitions)) if fused_enabled() else None
         )
-        output: list[LocalPartition] = []
-        for node in range(cluster.num_nodes):
+        if shared_moving is not None and shared_moving.num_rows and self.broadcast == "S":
+            # Only BJ-S probes the shared table as the join's right side.
+            shared_moving.key_index()
+
+        def join_node(node: int) -> LocalPartition:
             received = self._received_rows(cluster, node, category)
             if shared_moving is not None:
                 full_moving = shared_moving
@@ -87,5 +94,6 @@ class BroadcastJoin(DistributedJoin):
             profile.add_cpu_at("Final merge-join", "merge", node, in_bytes + out_bytes)
             if not spec.materialize:
                 joined = LocalPartition(keys=joined.keys)
-            output.append(joined)
-        return output
+            return joined
+
+        return cluster.run_phase(join_node, profile=profile)

@@ -9,6 +9,9 @@ attacks.
 
 The step structure mirrors Table 3 of the paper: hash-partition R and S,
 transfer the fragments, sort the received runs, and merge-join locally.
+Each step runs as one cluster phase (:meth:`Cluster.run_phase`), so the
+per-node work parallelizes across the cluster's workers while traffic
+accounting stays byte-identical to the serial run.
 """
 
 from __future__ import annotations
@@ -46,8 +49,8 @@ class GraceHashJoin(DistributedJoin):
         width_r = table_r.schema.tuple_width(spec.encoding)
         width_s = table_s.schema.tuple_width(spec.encoding)
         out_width = width_r + table_s.schema.payload_width(spec.encoding)
-        output: list[LocalPartition] = []
-        for node in range(cluster.num_nodes):
+
+        def join_node(node: int) -> LocalPartition:
             part_r = received_r[node]
             part_s = received_s[node]
             profile.add_cpu_at(
@@ -67,8 +70,9 @@ class GraceHashJoin(DistributedJoin):
             )
             if not spec.materialize:
                 joined = LocalPartition(keys=joined.keys)
-            output.append(joined)
-        return output
+            return joined
+
+        return cluster.run_phase(join_node, profile=profile)
 
     def _repartition(
         self,
@@ -81,7 +85,8 @@ class GraceHashJoin(DistributedJoin):
     ) -> list[LocalPartition]:
         """Hash-partition one table; returns the received fragments per node."""
         width = table.schema.tuple_width(spec.encoding)
-        for src in range(cluster.num_nodes):
+
+        def scatter(src: int) -> None:
             fragment = table.partitions[src]
             profile.add_cpu_at(
                 f"Hash partition {step}", "partition", src, fragment.num_rows * width
@@ -93,12 +98,15 @@ class GraceHashJoin(DistributedJoin):
                 self._send_rows(
                     cluster, profile, step, category, src, dst, batch, width
                 )
-        received = []
-        for node in range(cluster.num_nodes):
+
+        cluster.run_phase(scatter, profile=profile)
+
+        def gather(node: int) -> LocalPartition:
             parts = self._received_rows(cluster, node, category)
-            received.append(
+            return (
                 LocalPartition.concat(parts)
                 if parts
                 else LocalPartition.empty(table.payload_names)
             )
-        return received
+
+        return cluster.run_phase(gather, profile=profile)

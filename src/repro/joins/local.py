@@ -15,6 +15,8 @@ the reference implementation that re-sorts on every call.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..fastpath import fused_enabled
@@ -37,8 +39,10 @@ _DENSE_SPAN_CAP = 1 << 27
 
 #: Reusable lookup scratch; every entry is -1 between calls, so a call
 #: only pays to scatter its own right keys in and back out instead of
-#: clearing the whole table with a fresh ``np.full``.
-_dense_scratch = np.empty(0, dtype=np.int32)
+#: clearing the whole table with a fresh ``np.full``.  One scratch per
+#: thread: phase workers run local joins concurrently, and a shared
+#: table would let one thread's scatter corrupt another's probe.
+_dense_tls = threading.local()
 
 
 def _dense_unique_join(
@@ -52,16 +56,19 @@ def _dense_unique_join(
     sorted unique-right path would produce, or ``None`` when the keys
     are too sparse or contain duplicates.
     """
-    global _dense_scratch
     base = int(keys_right.min())
     span = int(keys_right.max()) - base + 1
     if span > min(_DENSE_SPAN_FACTOR * len(keys_right) + 1024, _DENSE_SPAN_CAP):
         return None
-    if len(_dense_scratch) < span:
-        _dense_scratch = np.full(
-            max(span, 2 * len(_dense_scratch)), -1, dtype=np.int32
+    scratch = getattr(_dense_tls, "scratch", None)
+    if scratch is None or len(scratch) < span:
+        scratch = np.full(
+            max(span, 2 * len(scratch) if scratch is not None else 0),
+            -1,
+            dtype=np.int32,
         )
-    lookup = _dense_scratch[:span]
+        _dense_tls.scratch = scratch
+    lookup = scratch[:span]
     shifted_right = keys_right - base
     right_ids = np.arange(len(keys_right), dtype=np.int32)
     lookup[shifted_right] = right_ids

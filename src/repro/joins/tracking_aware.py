@@ -54,12 +54,14 @@ def _scatter_keys(
     wire — rids are implicit in message origin and order.
     """
     key_width = table.schema.key_width(spec.encoding)
-    for src, partition in enumerate(table.partitions):
+
+    def scatter(src: int) -> None:
+        partition = table.partitions[src]
         profile.add_cpu_at(
             f"Hash partition {side} keys", "partition", src, partition.num_rows * key_width
         )
         if partition.num_rows == 0:
-            continue
+            return
         if fused_enabled():
             plan = partition.hash_scatter_plan(cluster.num_nodes, spec.hash_seed)
             order, bounds = plan.order, plan.bounds
@@ -95,13 +97,16 @@ def _scatter_keys(
                 profile.add_local(f"Local copy {side} keys", src, nbytes)
             else:
                 profile.add_net_at(f"Transfer {side} keys", src, nbytes)
-    received = []
-    for node in range(cluster.num_nodes):
+
+    cluster.run_phase(scatter, profile=profile)
+
+    def gather(node: int) -> LocalPartition:
         parts = [m.payload for m in cluster.network.deliver(node)]
-        received.append(
+        return (
             LocalPartition.concat(parts) if parts else LocalPartition.empty(("node", "pos"))
         )
-    return received
+
+    return cluster.run_phase(gather, profile=profile)
 
 
 def _rid_pairs(
@@ -112,8 +117,8 @@ def _rid_pairs(
     key_width: float,
 ) -> list[LocalPartition]:
     """Join the scattered key streams at every hash node into rid pairs."""
-    pairs = []
-    for node in range(cluster.num_nodes):
+
+    def pair_node(node: int) -> LocalPartition:
         r_part, s_part = recv_r[node], recv_s[node]
         idx_r, idx_s = join_indices(r_part.keys, s_part.keys)
         profile.add_cpu_at(
@@ -122,18 +127,17 @@ def _rid_pairs(
             node,
             (r_part.num_rows + s_part.num_rows + len(idx_r)) * key_width,
         )
-        pairs.append(
-            LocalPartition(
-                keys=r_part.keys[idx_r],
-                columns={
-                    "r_node": r_part.columns["node"][idx_r],
-                    "r_pos": r_part.columns["pos"][idx_r],
-                    "s_node": s_part.columns["node"][idx_s],
-                    "s_pos": s_part.columns["pos"][idx_s],
-                },
-            )
+        return LocalPartition(
+            keys=r_part.keys[idx_r],
+            columns={
+                "r_node": r_part.columns["node"][idx_r],
+                "r_pos": r_part.columns["pos"][idx_r],
+                "s_node": s_part.columns["node"][idx_s],
+                "s_pos": s_part.columns["pos"][idx_s],
+            },
         )
-    return pairs
+
+    return cluster.run_phase(pair_node, profile=profile)
 
 
 class LateMaterializationHashJoin(DistributedJoin):
@@ -156,8 +160,8 @@ class LateMaterializationHashJoin(DistributedJoin):
 
         rid_r = rid_width(table_r.total_rows)
         rid_s = rid_width(table_s.total_rows)
-        output = []
-        for node in range(cluster.num_nodes):
+
+        def fetch_node(node: int) -> LocalPartition:
             pair = pairs[node]
             columns: dict[str, np.ndarray] = {}
             for side, table, rid_bytes, category in (
@@ -197,9 +201,13 @@ class LateMaterializationHashJoin(DistributedJoin):
                         fetched[name][sel] = values
                 for name, values in fetched.items():
                     columns[f"{side}.{name}"] = values
-            for _n, _m in cluster.network.deliver_all():
-                pass
-            output.append(LocalPartition(keys=pair.keys, columns=columns))
+            return LocalPartition(keys=pair.keys, columns=columns)
+
+        output = cluster.run_phase(fetch_node, profile=profile)
+        # Request/response messages carry no payloads; drain them at the
+        # phase barrier (the serial loop drained per node as it went).
+        for _n, _m in cluster.network.deliver_all():
+            pass
         return output
 
 
@@ -240,12 +248,10 @@ class TrackingAwareHashJoin(DistributedJoin):
 
         # Per (narrow rid, wide node) send-once bookkeeping, and per wide
         # node the set of wide rids participating in the join.
-        send_jobs: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
-        wide_rows: dict[int, list[np.ndarray]] = {}
-        for t_node in range(cluster.num_nodes):
+        def schedule_t_node(t_node: int):
             pair = pairs[t_node]
             if pair.num_rows == 0:
-                continue
+                return [], []
             n_node = pair.columns[f"{narrow}_node"]
             n_pos = pair.columns[f"{narrow}_pos"]
             w_node = pair.columns[f"{wide}_node"]
@@ -258,6 +264,8 @@ class TrackingAwareHashJoin(DistributedJoin):
             profile.add_cpu_at(
                 "Deduplicate rid pairs", "aggregate", t_node, pair.num_rows * 16.0
             )
+            jobs: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+            wides: list[tuple[int, np.ndarray]] = []
             for src in np.unique(unique_send[:, 0]):
                 sel = unique_send[unique_send[:, 0] == src]
                 # Instruction to the narrow node: (local rid, destination).
@@ -265,9 +273,7 @@ class TrackingAwareHashJoin(DistributedJoin):
                 cluster.network.send(t_node, int(src), MessageClass.RIDS, nbytes)
                 if int(src) != t_node:
                     profile.add_net_at("Send narrow rids", t_node, nbytes)
-                send_jobs.setdefault(int(src), []).append(
-                    (t_node, sel[:, 1], sel[:, 2])
-                )
+                jobs.append((int(src), t_node, sel[:, 1], sel[:, 2]))
             combo_w = np.stack([w_node, w_pos], axis=1)
             unique_wide = np.unique(combo_w, axis=0)
             for dst in np.unique(unique_wide[:, 0]):
@@ -277,16 +283,29 @@ class TrackingAwareHashJoin(DistributedJoin):
                 cluster.network.send(t_node, int(dst), MessageClass.RIDS, nbytes)
                 if int(dst) != t_node:
                     profile.add_net_at("Send wide rids", t_node, nbytes)
-                wide_rows.setdefault(int(dst), []).append(sel[:, 1])
+                wides.append((int(dst), sel[:, 1]))
+            return jobs, wides
+
+        scheduled = cluster.run_phase(schedule_t_node, profile=profile)
+        send_jobs: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+        wide_rows: dict[int, list[np.ndarray]] = {}
+        for jobs, wides in scheduled:
+            for src, t_node, positions, destinations in jobs:
+                send_jobs.setdefault(src, []).append((t_node, positions, destinations))
+            for dst, positions in wides:
+                wide_rows.setdefault(dst, []).append(positions)
         for _n, _m in cluster.network.deliver_all():
             pass
 
         # Narrow nodes ship (key + narrow payload) to each destination.
         # Each job's destination split is computed once (a single fused
         # gather) and reused by the send pass and the arrivals pass.
-        job_batches: list[tuple[int, int, LocalPartition]] = []
-        for src, jobs in send_jobs.items():
+        job_sources = list(send_jobs.items())
+
+        def split_jobs(index: int) -> list[tuple[int, int, LocalPartition]]:
+            src, jobs = job_sources[index]
             partition = narrow_table.partitions[src]
+            batches_here: list[tuple[int, int, LocalPartition]] = []
             for _t_node, positions, destinations in jobs:
                 batches = partition.split_by(
                     destinations, cluster.num_nodes, rows=positions
@@ -294,7 +313,14 @@ class TrackingAwareHashJoin(DistributedJoin):
                 for dst, batch in enumerate(batches):
                     if batch is None:
                         continue
-                    job_batches.append((src, dst, batch))
+                    batches_here.append((src, dst, batch))
+            return batches_here
+
+        job_batches: list[tuple[int, int, LocalPartition]] = []
+        for batches_here in cluster.run_phase(
+            split_jobs, tasks=len(job_sources), profile=profile
+        ):
+            job_batches.extend(batches_here)
         for src, dst, batch in job_batches:
             nbytes = batch.num_rows * narrow_width
             cluster.network.send(src, dst, narrow_category, nbytes, payload=batch)
@@ -309,15 +335,14 @@ class TrackingAwareHashJoin(DistributedJoin):
             arrivals.setdefault(dst, []).append(batch)
 
         # Rejoin at the wide nodes: selected local tuples vs arrivals.
-        output = []
-        for node in range(cluster.num_nodes):
+        empty_names = tuple("r." + n for n in table_r.payload_names) + tuple(
+            "s." + n for n in table_s.payload_names
+        )
+
+        def rejoin_node(node: int) -> LocalPartition:
             received = arrivals.get(node, [])
             if not received or node not in wide_rows:
-                names = tuple("r." + n for n in table_r.payload_names) + tuple(
-                    "s." + n for n in table_s.payload_names
-                )
-                output.append(LocalPartition.empty(names))
-                continue
+                return LocalPartition.empty(empty_names)
             narrow_part = LocalPartition.concat(received)
             positions = np.unique(np.concatenate(wide_rows[node]))
             wide_part = wide_table.partitions[node].take(positions)
@@ -333,5 +358,6 @@ class TrackingAwareHashJoin(DistributedJoin):
                 columns[f"{wide}.{name}"] = values[idx_w]
             for name, values in narrow_part.columns.items():
                 columns[f"{narrow}.{name}"] = values[idx_n]
-            output.append(LocalPartition(keys=wide_part.keys[idx_w], columns=columns))
-        return output
+            return LocalPartition(keys=wide_part.keys[idx_w], columns=columns)
+
+        return cluster.run_phase(rejoin_node, profile=profile)

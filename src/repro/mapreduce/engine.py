@@ -125,8 +125,9 @@ class MapReduceJob:
         profile: ExecutionProfile,
         channel: Channel,
     ) -> None:
-        """Run map + shuffle for one channel."""
-        for node in range(cluster.num_nodes):
+        """Run map + shuffle for one channel (one task per mapper node)."""
+
+        def map_node(node: int) -> None:
             mapped = channel.mapper(node, channel.inputs[node])
             profile.add_cpu_at(
                 f"Map {channel.name}",
@@ -135,7 +136,7 @@ class MapReduceJob:
                 mapped.num_rows * channel.record_width,
             )
             if mapped.num_rows == 0:
-                continue
+                return
             if channel.partition_column is not None:
                 routed = mapped.columns[channel.partition_column].astype(np.int64)
             elif channel.partitioner is None:
@@ -166,6 +167,8 @@ class MapReduceJob:
                 else:
                     profile.add_net_at(f"Shuffle {channel.name}", node, nbytes)
 
+        cluster.run_phase(map_node, profile=profile)
+
     def run(self, cluster: Cluster) -> MapReduceResult:
         """Execute the job; resets the cluster's ledger first."""
         cluster.reset()
@@ -173,21 +176,20 @@ class MapReduceJob:
         for channel in self.channels:
             self._shuffle_channel(cluster, profile, channel)
 
-        # Barrier: collect shuffled records per node and channel.
-        received: list[dict[str, list[LocalPartition]]] = [
-            {channel.name: [] for channel in self.channels}
-            for _ in range(cluster.num_nodes)
-        ]
-        for node in range(cluster.num_nodes):
+        # Barrier: collect shuffled records per node and channel, then
+        # sort + reduce — one task per reducer node.
+        widths = {channel.name: channel.record_width for channel in self.channels}
+        channel_names = [channel.name for channel in self.channels]
+
+        def reduce_node(node: int) -> LocalPartition:
+            received: dict[str, list[LocalPartition]] = {
+                name: [] for name in channel_names
+            }
             for message in cluster.network.deliver(node):
                 channel_name, batch = message.payload
-                received[node][channel_name].append(batch)
-
-        widths = {channel.name: channel.record_width for channel in self.channels}
-        outputs: list[LocalPartition] = []
-        for node in range(cluster.num_nodes):
+                received[channel_name].append(batch)
             groups: dict[str, LocalPartition] = {}
-            for name, batches in received[node].items():
+            for name, batches in received.items():
                 merged = LocalPartition.concat(batches) if batches else LocalPartition.empty()
                 if merged.num_rows:
                     order = np.argsort(merged.keys, kind="stable")
@@ -200,7 +202,9 @@ class MapReduceJob:
             profile.add_cpu_at(
                 "Reduce", "merge", node, output.num_rows * max(self.output_width, 1.0)
             )
-            outputs.append(output)
+            return output
+
+        outputs = cluster.run_phase(reduce_node, profile=profile)
 
         if self.output_router is not None:
             outputs = self._route_outputs(cluster, profile, outputs)
@@ -218,7 +222,8 @@ class MapReduceJob:
         outputs: list[LocalPartition],
     ) -> list[LocalPartition]:
         """Optionally forward reduce outputs to chosen nodes."""
-        for node in range(cluster.num_nodes):
+
+        def route_node(node: int) -> None:
             record_idx, destinations = self.output_router(node, outputs[node])
             record_idx = np.asarray(record_idx, dtype=np.int64)
             destinations = np.asarray(destinations, dtype=np.int64)
@@ -238,8 +243,11 @@ class MapReduceJob:
                     profile.add_local("Local copy routed output", node, nbytes)
                 else:
                     profile.add_net_at("Route reduce output", node, nbytes)
-        final: list[LocalPartition] = []
-        for node in range(cluster.num_nodes):
+
+        cluster.run_phase(route_node, profile=profile)
+
+        def collect_node(node: int) -> LocalPartition:
             batches = [message.payload[1] for message in cluster.network.deliver(node)]
-            final.append(LocalPartition.concat(batches) if batches else LocalPartition.empty())
-        return final
+            return LocalPartition.concat(batches) if batches else LocalPartition.empty()
+
+        return cluster.run_phase(collect_node, profile=profile)

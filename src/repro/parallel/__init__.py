@@ -1,0 +1,25 @@
+"""Parallel execution engine: worker pools, phase barriers, shared memory."""
+
+from .executor import (
+    PhaseExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_workers,
+    resolve_executor,
+    run_phase,
+    set_default_workers,
+)
+from .shm import SharedArray
+
+__all__ = [
+    "PhaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SharedArray",
+    "default_workers",
+    "set_default_workers",
+    "resolve_executor",
+    "run_phase",
+]

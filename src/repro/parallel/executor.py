@@ -1,0 +1,247 @@
+"""Worker-pool executors for the parallel cluster engine.
+
+The simulated cluster runs each node's per-phase work (partition
+scatters, merge-joins, tracking dedup) as one *task*; a
+:class:`PhaseExecutor` decides where those tasks run:
+
+:class:`SerialExecutor`
+    Tasks run inline on the calling thread, in task order.  The
+    default, and the reference every parallel run must match
+    byte-for-byte.
+
+:class:`ThreadExecutor`
+    Tasks run on a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+    The hot kernels are GIL-releasing numpy (sorts, gathers, bincounts),
+    so threads give real parallelism without pickling any state.
+
+:class:`ProcessExecutor`
+    Opt-in process pool for large payloads.  Task callables and
+    arguments must be picklable (module-level functions); numpy arrays
+    should cross the process boundary through
+    :mod:`repro.parallel.shm` shared-memory blocks instead of pickled
+    copies.  The join operators use closures over cluster state and
+    therefore always run on the serial or thread backend; the process
+    backend serves embarrassingly-parallel kernel work (workload
+    generation, batch scoring) where payload copies would dominate.
+
+Determinism does not depend on the executor: :func:`run_phase` gives
+every task its own network send lane and profile lane, and commits
+them in task order at the phase barrier, so ledgers, inbox ordering,
+and profiles are bit-identical for any worker count or interleaving.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ParallelError
+
+__all__ = [
+    "PhaseExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "default_workers",
+    "set_default_workers",
+    "resolve_executor",
+    "run_phase",
+]
+
+#: Environment variable consulted for the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_default_workers: int | None = None
+
+
+def default_workers() -> int:
+    """The worker count new clusters use when none is given.
+
+    Resolution order: :func:`set_default_workers`, the ``REPRO_WORKERS``
+    environment variable, then 1 (serial).
+    """
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            workers = int(env)
+        except ValueError as exc:
+            raise ParallelError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+        if workers < 1:
+            raise ParallelError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+        return workers
+    return 1
+
+
+def set_default_workers(workers: int | None) -> int | None:
+    """Set the process-wide default worker count; returns the previous value.
+
+    ``None`` restores environment/serial resolution.
+    """
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    previous = _default_workers
+    _default_workers = workers
+    return previous
+
+
+class PhaseExecutor(abc.ABC):
+    """Runs the tasks of one phase and collects their results in order."""
+
+    #: Number of workers tasks may occupy concurrently.
+    workers: int = 1
+
+    @abc.abstractmethod
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item; results are in item order.
+
+        The first task exception propagates to the caller (remaining
+        tasks may or may not have run).
+        """
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for inline executors)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(PhaseExecutor):
+    """Inline execution on the calling thread, in task order."""
+
+    workers = 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(PhaseExecutor):
+    """Thread-pool execution for GIL-releasing numpy task bodies."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ParallelError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-worker"
+            )
+        return self._pool
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(PhaseExecutor):
+    """Process-pool execution for picklable, payload-heavy task functions.
+
+    Arrays should be passed as :class:`repro.parallel.shm.SharedArray`
+    handles so workers attach to the same memory instead of receiving
+    pickled copies.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ParallelError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def resolve_executor(
+    workers: int | None = None, backend: str = "thread"
+) -> PhaseExecutor:
+    """Build the executor for ``workers`` (default: :func:`default_workers`).
+
+    One worker always resolves to :class:`SerialExecutor`; more workers
+    resolve to the requested ``backend`` (``"thread"`` or ``"process"``).
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    if workers == 1:
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(workers)
+    if backend == "process":
+        return ProcessExecutor(workers)
+    raise ParallelError(f"backend must be 'thread' or 'process', got {backend!r}")
+
+
+def run_phase(
+    cluster,
+    fn: Callable[[int], object],
+    tasks: Sequence[int] | int | None = None,
+    profile=None,
+    executor: PhaseExecutor | None = None,
+) -> list:
+    """Run one phase's tasks with barrier semantics and deterministic state.
+
+    ``fn(i)`` is invoked once per task index.  ``tasks`` is either a task
+    count, an explicit index sequence, or ``None`` for one task per
+    cluster node.  Every task is bound to its own network
+    :class:`~repro.cluster.network.SendLane` (and, when ``profile`` is
+    given, its own profile lane); lanes are committed in task order at
+    the closing barrier, so traffic ledgers, inbox ordering, and
+    profiles never depend on the worker count or thread interleaving.
+    Messages sent inside the phase become visible to ``deliver`` only
+    after the barrier, matching the paper's non-pipelined phase model.
+
+    Returns the task results in task order.
+    """
+    executor = executor or cluster.executor
+    network = cluster.network
+    if tasks is None:
+        indices: Sequence[int] = range(cluster.num_nodes)
+    elif isinstance(tasks, int):
+        indices = range(tasks)
+    else:
+        indices = list(tasks)
+    count = len(indices)
+    lanes = network.begin_phase(count)
+    profile_lanes = profile.begin_phase(count) if profile is not None else None
+
+    def task(position: int):
+        index = indices[position]
+        with network.bind_lane(lanes[position]):
+            if profile_lanes is None:
+                return fn(index)
+            with profile.bind_lane(profile_lanes[position]):
+                return fn(index)
+
+    try:
+        results = executor.map(task, range(count))
+    except BaseException:
+        network.abort_phase()
+        if profile is not None:
+            profile.abort_phase()
+        raise
+    network.end_phase()
+    if profile is not None:
+        profile.end_phase()
+    return results

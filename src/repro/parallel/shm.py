@@ -1,0 +1,64 @@
+"""Shared-memory numpy buffers for the process-pool backend.
+
+A :class:`SharedArray` owns one :class:`multiprocessing.shared_memory`
+block holding a numpy array.  Pickling the handle transfers only the
+block name, shape, and dtype — workers in a
+:class:`~repro.parallel.executor.ProcessExecutor` attach to the same
+physical pages, so large payloads cross the process boundary with zero
+copies instead of being serialized.
+
+Lifecycle: the creating process calls :meth:`SharedArray.copy_from`
+(one copy into shared pages), hands the handle to workers, and calls
+:meth:`close` + :meth:`unlink` when every consumer is done.  Attached
+views in workers stay valid for the lifetime of their handle.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory block."""
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str, *, _shm=None):
+        self.name = name
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = _shm
+
+    @classmethod
+    def copy_from(cls, array: np.ndarray) -> "SharedArray":
+        """Allocate a shared block and copy ``array`` into it."""
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return cls(shm.name, array.shape, array.dtype.str, _shm=shm)
+
+    def _attach(self) -> shared_memory.SharedMemory:
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.name)
+        return self._shm
+
+    def array(self) -> np.ndarray:
+        """The shared block viewed as a numpy array (no copy)."""
+        return np.ndarray(self.shape, dtype=self.dtype, buffer=self._attach().buf)
+
+    def close(self) -> None:
+        """Detach this handle's mapping (the block itself survives)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the underlying block (owner-side, after all closes)."""
+        self._attach().unlink()
+
+    # Only the addressing triple is pickled; workers re-attach by name.
+    def __reduce__(self):
+        return (SharedArray, (self.name, self.shape, self.dtype.str))

@@ -3,6 +3,8 @@
 from .bench import (
     bench_joins,
     bench_kernels,
+    bench_scaling,
+    bench_scaling_report,
     bench_smoke,
     best_time,
     check_regressions,
@@ -13,6 +15,8 @@ from .bench import (
 __all__ = [
     "bench_joins",
     "bench_kernels",
+    "bench_scaling",
+    "bench_scaling_report",
     "bench_smoke",
     "best_time",
     "check_regressions",

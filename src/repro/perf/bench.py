@@ -11,6 +11,10 @@ and defended against regressions.  This module provides both:
   whole join algorithms on the Figure 3 workload, loop vs fused, with a
   byte-exactness check that both modes produced the identical
   per-message-class traffic.
+* :func:`bench_scaling` — end-to-end wall-clock of whole joins across
+  worker counts (the parallel engine's 1 → n cores curve), with a
+  ledger-identity check proving every worker count produced
+  byte-identical traffic.
 * :func:`bench_smoke` — the tiny-scale CI gate behind
   ``python -m repro bench-smoke``: writes ``BENCH_joins.json`` and
   fails when any fused kernel runs more than ``threshold`` times
@@ -24,6 +28,7 @@ so instrumentation never pollutes the wall-clock numbers.
 from __future__ import annotations
 
 import json
+import os
 import time
 import tracemalloc
 from pathlib import Path
@@ -46,6 +51,8 @@ __all__ = [
     "peak_alloc",
     "bench_kernels",
     "bench_joins",
+    "bench_scaling",
+    "bench_scaling_report",
     "bench_smoke",
     "check_regressions",
     "write_report",
@@ -256,6 +263,119 @@ def bench_joins(
     return results
 
 
+#: Algorithms the scaling curve times (the Fig. 3 headliners).
+SCALING_ALGORITHMS = (
+    ("4TJ", TrackJoin4),
+    ("HJ", GraceHashJoin),
+)
+
+
+def bench_scaling(
+    scaled_tuples: int = 250_000,
+    num_nodes: int = 16,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    worker_counts=(1, 2, 4, 8),
+    algorithms=SCALING_ALGORITHMS,
+) -> dict:
+    """Wall-clock scaling curve of whole joins across worker counts.
+
+    Each algorithm runs the Fig. 3 workload once per worker count (best
+    of ``repeats``), on the fused path.  Every run's traffic ledger —
+    per-class and per-link — must be byte-identical to the serial
+    (1-worker) reference; a divergence raises, because a scaling number
+    for a run that computed something different is meaningless.
+
+    ``host_cpus`` is recorded alongside the curve: speedups are bounded
+    by the physical cores of the benchmark box, so a 1-core host
+    reports a flat curve no matter how sound the engine is.
+    """
+    spec = _bench_spec()
+    report: dict = {
+        "host_cpus": os.cpu_count(),
+        "worker_counts": [int(w) for w in worker_counts],
+        "config": {
+            "scaled_tuples": scaled_tuples,
+            "num_nodes": num_nodes,
+            "seed": seed,
+            "repeats": repeats,
+            "warmup": warmup,
+        },
+        "algorithms": {},
+    }
+    with use_scatter_mode(FUSED):
+        for label, factory in algorithms:
+            workload = unique_keys_workload(
+                num_nodes=num_nodes, scaled_tuples=scaled_tuples, seed=seed
+            )
+            seconds: dict[str, float] = {}
+            reference_ledger = None
+            try:
+                for workers in worker_counts:
+                    workload.cluster.set_workers(int(workers))
+
+                    def run():
+                        return factory().run(
+                            workload.cluster, workload.table_r, workload.table_s, spec
+                        )
+
+                    seconds[str(int(workers))] = best_time(run, repeats, warmup)
+                    result = run()
+                    ledger = (
+                        sorted(
+                            (c.name, b) for c, b in result.traffic.by_class.items()
+                        ),
+                        sorted(result.traffic.by_link.items()),
+                    )
+                    if reference_ledger is None:
+                        reference_ledger = ledger
+                    elif ledger != reference_ledger:
+                        raise AssertionError(
+                            f"{label}: ledger with {workers} workers diverged "
+                            "from the serial reference"
+                        )
+            finally:
+                workload.cluster.set_workers(1)
+            base = seconds[str(int(worker_counts[0]))]
+            report["algorithms"][label] = {
+                "seconds": seconds,
+                "speedup_vs_1": {
+                    w: (base / s if s > 0 else float("inf"))
+                    for w, s in seconds.items()
+                },
+                "ledger_identical": True,
+            }
+    return report
+
+
+def bench_scaling_report(
+    out_path: str | Path = "BENCH_joins.json",
+    **kwargs,
+) -> int:
+    """Run :func:`bench_scaling` and merge the curve into ``out_path``.
+
+    Other keys of an existing report (kernels, joins) are preserved, so
+    ``bench-smoke`` followed by ``bench-scaling`` yields one combined
+    ``BENCH_joins.json``.
+    """
+    scaling = bench_scaling(**kwargs)
+    out_file = Path(out_path)
+    payload = {}
+    if out_file.exists() and out_file.read_text().strip():
+        payload = json.loads(out_file.read_text())
+    payload["scaling"] = scaling
+    write_report(out_file, payload)
+    print(f"wrote {out_path} (host_cpus={scaling['host_cpus']})")
+    for label, row in scaling["algorithms"].items():
+        curve = "  ".join(
+            f"{w}w {row['seconds'][w]:.4f}s ({row['speedup_vs_1'][w]:.2f}x)"
+            for w in row["seconds"]
+        )
+        print(f"  {label:7s} {curve}")
+    return 0
+
+
 def write_report(path: str | Path, payload: dict) -> None:
     """Write one benchmark payload as pretty-printed JSON."""
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
@@ -295,6 +415,9 @@ def bench_smoke(
     joins = bench_joins(
         scaled_tuples, num_nodes, seed, repeats, warmup, measure_memory=False
     )
+    scaling = bench_scaling(
+        scaled_tuples, num_nodes, seed, repeats, warmup, worker_counts=(1, 2, 4)
+    )
     payload = {
         "config": {
             "scaled_tuples": scaled_tuples,
@@ -305,6 +428,7 @@ def bench_smoke(
         },
         "kernels": kernels,
         "joins": joins,
+        "scaling": scaling,
     }
     write_report(out_path, payload)
     print(f"wrote {out_path}")

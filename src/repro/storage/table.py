@@ -20,13 +20,22 @@ import numpy as np
 
 from ..errors import PlacementError, SchemaError
 from ..fastpath import fused_enabled
-from ..util import hash_partition, segment_boundaries, segment_count, stable_argsort_bounded
+from ..util import (
+    hash_partition,
+    segment_boundaries,
+    segment_count,
+    stable_argsort_bounded,
+    stable_sort_with_order,
+)
 from .schema import Schema
 
 __all__ = ["KeyIndex", "ScatterPlan", "LocalPartition", "DistributedTable"]
 
+#: ``distinct_with_counts`` switches to a sort-free bincount when the key
+#: span is at most this many times the row count (bounds the counts table).
+_DISTINCT_DENSE_FACTOR = 4
 
-@dataclass(frozen=True)
+
 class KeyIndex:
     """Cached sort order of one partition's join keys.
 
@@ -35,12 +44,28 @@ class KeyIndex:
     broadcast matching, final merge-joins).
     """
 
-    #: Stable argsort of the partition's keys.
-    order: np.ndarray
-    #: ``keys[order]`` — the keys in non-decreasing order.
-    sorted_keys: np.ndarray
-    #: True when no key occurs twice (enables single-probe join lookups).
-    unique: bool
+    __slots__ = ("order", "sorted_keys", "_unique")
+
+    def __init__(self, order: np.ndarray, sorted_keys: np.ndarray, unique: bool | None = None):
+        #: Stable argsort of the partition's keys.
+        self.order = order
+        #: ``keys[order]`` — the keys in non-decreasing order.
+        self.sorted_keys = sorted_keys
+        self._unique = unique
+
+    @property
+    def unique(self) -> bool:
+        """True when no key occurs twice (enables single-probe join lookups).
+
+        Computed lazily on first use so building an index never pays for
+        a duplicate scan the consumer may not need.
+        """
+        if self._unique is None:
+            sorted_keys = self.sorted_keys
+            self._unique = len(sorted_keys) <= 1 or bool(
+                (sorted_keys[1:] != sorted_keys[:-1]).all()
+            )
+        return self._unique
 
 
 @dataclass(frozen=True)
@@ -88,6 +113,19 @@ class LocalPartition:
             columns={name: values[indices] for name, values in self.columns.items()},
         )
 
+    def copy(self) -> "LocalPartition":
+        """Deep copy with freshly owned arrays.
+
+        Used by :meth:`repro.cluster.network.Network.send_batches` with
+        ``copy=True`` to snapshot a payload whose backing buffers the
+        sender intends to mutate after the send (the copy-on-conflict
+        rule of the zero-copy transport).
+        """
+        return LocalPartition(
+            keys=self.keys.copy(),
+            columns={name: values.copy() for name, values in self.columns.items()},
+        )
+
     # -- cached key index and scatter plans -----------------------------
 
     def invalidate_caches(self) -> None:
@@ -107,28 +145,57 @@ class LocalPartition:
             self._cache_keys = self.keys
 
     def key_index(self) -> KeyIndex:
-        """The partition's sorted-key index, built once and cached."""
+        """The partition's sorted-key index, built once and cached.
+
+        Sorting goes through :func:`~repro.util.stable_sort_with_order`
+        (value/index pack-sort when the key span permits): the resulting
+        permutation is identical to a plain stable argsort but avoids
+        its indirect gather passes.  The uniqueness flag is lazy.
+        """
         self._fresh_caches()
         if self._key_index is None:
-            order = np.argsort(self.keys, kind="stable")
-            sorted_keys = self.keys[order]
-            unique = len(sorted_keys) <= 1 or bool(
-                (sorted_keys[1:] != sorted_keys[:-1]).all()
-            )
-            self._key_index = KeyIndex(order=order, sorted_keys=sorted_keys, unique=unique)
+            order, sorted_keys = stable_sort_with_order(self.keys)
+            self._key_index = KeyIndex(order=order, sorted_keys=sorted_keys)
         return self._key_index
 
     def distinct_with_counts(self) -> tuple[np.ndarray, np.ndarray]:
-        """Distinct keys and their repeat counts (cached; == ``np.unique``)."""
+        """Distinct keys and their repeat counts (cached; == ``np.unique``).
+
+        Picks the cheapest algorithm for the key distribution at hand:
+
+        * an already-built :meth:`key_index` is reused (one boundary scan);
+        * dense key domains (span ≤ ``_DISTINCT_DENSE_FACTOR`` × rows)
+          count occurrences with one sort-free ``bincount`` pass;
+        * otherwise ``np.unique``'s value-only sort runs — several times
+          faster than an index sort plus gather, which is why this does
+          NOT build the key index as a side effect.
+        """
         self._fresh_caches()
         if self._distinct is None:
-            sorted_keys = self.key_index().sorted_keys
-            starts = segment_boundaries(sorted_keys)
-            self._distinct = (
-                sorted_keys[starts],
-                segment_count(starts, len(sorted_keys)),
-            )
+            if self._key_index is not None:
+                sorted_keys = self._key_index.sorted_keys
+                starts = segment_boundaries(sorted_keys)
+                self._distinct = (
+                    sorted_keys[starts],
+                    segment_count(starts, len(sorted_keys)),
+                )
+            else:
+                self._distinct = self._distinct_uncached()
         return self._distinct
+
+    def _distinct_uncached(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct keys + counts without (building) the key index."""
+        n = len(self.keys)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.intp)
+        base = int(self.keys.min())
+        span = int(self.keys.max()) - base + 1
+        if span <= _DISTINCT_DENSE_FACTOR * n + 1024:
+            counts = np.bincount(self.keys - base, minlength=span)
+            present = np.flatnonzero(counts)
+            return (present + base).astype(np.int64), counts[present]
+        distinct, counts = np.unique(self.keys, return_counts=True)
+        return distinct, counts
 
     def hash_scatter_plan(self, num_buckets: int, seed: int = 0) -> ScatterPlan:
         """Cached hash-routing of rows to ``num_buckets`` destinations.

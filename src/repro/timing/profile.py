@@ -14,6 +14,8 @@ Steps are recorded in execution order and keep the paper's step names
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -63,13 +65,66 @@ class Step:
 
 
 class ExecutionProfile:
-    """Ordered collection of the steps one join execution performed."""
+    """Ordered collection of the steps one join execution performed.
+
+    The profile is phase-aware for the parallel engine: while a phase is
+    open (:meth:`begin_phase`), a worker thread bound to a lane profile
+    (:meth:`bind_lane`) records into that private lane instead of the
+    shared step list, and :meth:`end_phase` merges lanes back in task
+    order.  Step lists and per-node sums are therefore bit-identical for
+    every worker count and thread interleaving.
+    """
 
     def __init__(self, num_nodes: int):
         self.num_nodes = num_nodes
         self.steps: list[Step] = []
+        self._phase_lanes: list["ExecutionProfile"] | None = None
+        self._tls = threading.local()
+
+    # -- phases and lanes ------------------------------------------------
+
+    def begin_phase(self, num_lanes: int) -> list["ExecutionProfile"]:
+        """Open a phase with one private lane profile per task."""
+        if self._phase_lanes is not None:
+            raise ValueError("a profile phase is already open (missing barrier?)")
+        self._phase_lanes = [ExecutionProfile(self.num_nodes) for _ in range(num_lanes)]
+        return self._phase_lanes
+
+    @contextmanager
+    def bind_lane(self, lane: "ExecutionProfile"):
+        """Route this thread's recordings into ``lane`` for the duration."""
+        previous = getattr(self._tls, "lane", None)
+        self._tls.lane = lane
+        try:
+            yield lane
+        finally:
+            self._tls.lane = previous
+
+    def end_phase(self) -> None:
+        """Barrier: merge all lane profiles back, in task order."""
+        lanes = self._phase_lanes
+        if lanes is None:
+            raise ValueError("no profile phase is open")
+        self._phase_lanes = None
+        for lane in lanes:
+            self.merge(lane)
+
+    def abort_phase(self) -> None:
+        """Discard all lane profiles (error path)."""
+        self._phase_lanes = None
+
+    def merge(self, other: "ExecutionProfile") -> "ExecutionProfile":
+        """Accumulate another profile's steps into this one, in step order."""
+        for step in other.steps:
+            self._accumulate(step.name, step.kind, step.rate_class, step.per_node_bytes)
+        return self
+
+    # -- recording -------------------------------------------------------
 
     def _accumulate(self, name: str, kind: str, rate_class: str, per_node) -> Step:
+        lane: "ExecutionProfile | None" = getattr(self._tls, "lane", None)
+        if lane is not None:
+            return lane._accumulate(name, kind, rate_class, per_node)
         per_node = np.asarray(per_node, dtype=np.float64)
         if per_node.shape != (self.num_nodes,):
             raise ValueError(

@@ -1,0 +1,242 @@
+"""Tests for the parallel execution engine.
+
+Covers the executor hierarchy, shared-memory buffers, phase barrier
+semantics on the cluster, and the headline determinism guarantee: a
+join's traffic ledger, profile, and output are bit-identical for any
+worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import Cluster, GraceHashJoin, TrackJoin4, BroadcastJoin
+from repro.cluster.network import MessageClass
+from repro.errors import ParallelError
+from repro.joins import LateMaterializationHashJoin, TrackingAwareHashJoin
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedArray,
+    ThreadExecutor,
+    default_workers,
+    resolve_executor,
+    set_default_workers,
+)
+from repro.parallel.executor import WORKERS_ENV
+
+from conftest import canonical_output, make_tables
+
+
+def _square(value: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    return value * value
+
+
+# -- executors -----------------------------------------------------------
+
+
+class TestExecutors:
+    def test_serial_map_preserves_order(self):
+        executor = SerialExecutor()
+        assert executor.map(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_thread_map_preserves_order(self):
+        executor = ThreadExecutor(workers=4)
+        try:
+            assert executor.map(_square, range(100)) == [i * i for i in range(100)]
+        finally:
+            executor.close()
+
+    def test_thread_map_propagates_exception(self):
+        executor = ThreadExecutor(workers=2)
+
+        def boom(i):
+            if i == 3:
+                raise ValueError("task 3 failed")
+            return i
+
+        try:
+            with pytest.raises(ValueError, match="task 3 failed"):
+                executor.map(boom, range(8))
+        finally:
+            executor.close()
+
+    def test_process_map(self):
+        executor = ProcessExecutor(workers=2)
+        try:
+            assert executor.map(_square, range(5)) == [0, 1, 4, 9, 16]
+        finally:
+            executor.close()
+
+    def test_resolve_executor(self):
+        serial = resolve_executor(1)
+        assert isinstance(serial, SerialExecutor)
+        threaded = resolve_executor(4)
+        assert isinstance(threaded, ThreadExecutor)
+        threaded.close()
+        procs = resolve_executor(2, backend="process")
+        assert isinstance(procs, ProcessExecutor)
+        procs.close()
+        with pytest.raises(ParallelError):
+            resolve_executor(2, backend="carrier-pigeon")
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        set_default_workers(None)
+        assert default_workers() == 1
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert default_workers() == 6
+        set_default_workers(3)
+        assert default_workers() == 3
+        set_default_workers(None)
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 1
+
+
+# -- shared memory -------------------------------------------------------
+
+
+class TestSharedArray:
+    def test_roundtrip_and_pickle(self):
+        data = np.arange(256, dtype=np.int64).reshape(16, 16)
+        shared = SharedArray.copy_from(data)
+        try:
+            assert np.array_equal(shared.array(), data)
+            # Pickling transfers only the addressing triple; the attached
+            # copy sees the same physical pages.
+            clone = pickle.loads(pickle.dumps(shared))
+            try:
+                view = clone.array()
+                assert np.array_equal(view, data)
+                view[0, 0] = -1
+                assert shared.array()[0, 0] == -1
+            finally:
+                del view
+                clone.close()
+        finally:
+            shared.unlink()
+            shared.close()
+
+    def test_unlink_destroys_block(self):
+        shared = SharedArray.copy_from(np.ones(8))
+        name = shared.name
+        shared.close()
+        shared.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArray(name, (8,), "<f8").array()
+
+
+# -- cluster phases ------------------------------------------------------
+
+
+class TestClusterPhases:
+    def test_run_phase_task_forms(self):
+        cluster = Cluster(4)
+        assert cluster.run_phase(lambda node: node) == [0, 1, 2, 3]
+        assert cluster.run_phase(lambda task: task * 10, tasks=3) == [0, 10, 20]
+        assert cluster.run_phase(lambda task: -task, tasks=[5, 2]) == [-5, -2]
+
+    def test_phase_exception_aborts_network_phase(self):
+        cluster = Cluster(2)
+
+        def bad(node):
+            cluster.network.send(node, 0, MessageClass.RIDS, 1.0)
+            raise RuntimeError("phase failed")
+
+        with pytest.raises(RuntimeError):
+            cluster.run_phase(bad)
+        # The aborted phase unwound cleanly: no staged state survives and
+        # the network accepts a new phase.
+        assert cluster.network.pending_messages() == 0
+        assert cluster.network.ledger.total_bytes == 0.0
+        assert cluster.run_phase(lambda node: node) == [0, 1]
+
+    def test_set_workers(self):
+        cluster = Cluster(2, workers=1)
+        assert cluster.workers == 1
+        cluster.set_workers(4)
+        assert cluster.workers == 4
+        assert cluster.run_phase(lambda node: node) == [0, 1]
+        cluster.set_workers(1)
+        assert cluster.workers == 1
+
+
+# -- determinism ---------------------------------------------------------
+
+
+def _ledger_fingerprint(result):
+    ledger = result.traffic
+    return (
+        sorted((c.name, b) for c, b in ledger.by_class.items()),
+        sorted(ledger.by_link.items()),
+        sorted(ledger.sent_by_node.items()),
+        sorted(ledger.received_by_node.items()),
+        ledger.local_bytes,
+        ledger.message_count,
+    )
+
+
+DETERMINISM_ALGORITHMS = [
+    GraceHashJoin(),
+    BroadcastJoin("S"),
+    TrackJoin4(),
+    LateMaterializationHashJoin(),
+    TrackingAwareHashJoin(),
+]
+
+
+@pytest.mark.parametrize(
+    "algorithm", DETERMINISM_ALGORITHMS, ids=lambda a: type(a).__name__ + getattr(a, "broadcast", "")
+)
+def test_join_deterministic_across_worker_counts(algorithm):
+    """Serial and 2/4/8-worker runs agree byte-for-byte (tentpole guarantee)."""
+    cluster = Cluster(8)
+    rng = np.random.default_rng(42)
+    table_r, table_s = make_tables(
+        cluster,
+        rng.integers(0, 500, 2000),
+        rng.integers(250, 750, 3000),
+    )
+    reference = None
+    for workers in (1, 2, 4, 8):
+        cluster.set_workers(workers)
+        result = algorithm.run(cluster, table_r, table_s)
+        fingerprint = (
+            _ledger_fingerprint(result),
+            canonical_output(result).tobytes(),
+        )
+        if reference is None:
+            reference = fingerprint
+        else:
+            assert fingerprint == reference, f"workers={workers} diverged"
+    cluster.set_workers(1)
+
+
+def test_profile_deterministic_across_worker_counts():
+    """Per-node profile steps also commit in task order at the barrier."""
+    cluster = Cluster(8)
+    rng = np.random.default_rng(9)
+    table_r, table_s = make_tables(
+        cluster,
+        rng.integers(0, 300, 1200),
+        rng.integers(100, 400, 1800),
+    )
+
+    def profile_steps(workers):
+        cluster.set_workers(workers)
+        result = TrackJoin4().run(cluster, table_r, table_s)
+        return [
+            (step.name, step.kind, step.rate_class, step.per_node_bytes.tobytes())
+            for step in result.profile.steps
+        ]
+
+    try:
+        reference = profile_steps(1)
+        for workers in (2, 8):
+            assert profile_steps(workers) == reference
+    finally:
+        cluster.set_workers(1)
