@@ -1,10 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-scaling bench-full
+.PHONY: test lint bench bench-smoke bench-scaling bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis: the project's REP determinism/aliasing rules always
+# run; ruff and mypy run when installed (pip install -e .[dev]) and are
+# mandatory in CI.
+lint:
+	$(PYTHON) -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[dev]')"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[dev]')"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,11 +8,17 @@ Usage::
     python -m repro all                  # run everything (slow)
     python -m repro bench-smoke          # tiny perf gate -> BENCH_joins.json
     python -m repro bench-scaling        # 1->N worker scaling curve
+    python -m repro lint                 # REP static analysis over src/repro
+    python -m repro lint src tests format=json
 
 Options after the experiment id are forwarded as ``key=value`` pairs,
-e.g. ``python -m repro fig3 scaled_tuples=50000``.  The special
-``workers=N`` option sets the default worker count for phase execution
-(equivalent to the ``REPRO_WORKERS`` environment variable).
+e.g. ``python -m repro fig3 scaled_tuples=50000``; any other trailing
+argument is an error (exit code 2).  The special ``workers=N`` option
+sets the default worker count for phase execution (equivalent to the
+``REPRO_WORKERS`` environment variable).
+
+``lint`` instead treats bare arguments as files/directories to scan
+(default ``src/repro``) and accepts ``format=text|json``.
 """
 
 from __future__ import annotations
@@ -31,13 +37,46 @@ def _parse_value(raw: str):
     return raw
 
 
+def _run_lint(args: list[str]) -> int:
+    """The ``lint`` subcommand: REP static analysis with text/JSON output."""
+    from .analysis import DEFAULT_TARGET, lint_paths
+    from .errors import AnalysisError
+
+    paths = [arg for arg in args if "=" not in arg]
+    options = dict(arg.split("=", 1) for arg in args if "=" in arg)
+    fmt = options.pop("format", "text")
+    if options:
+        print(f"error: unknown lint option(s): {sorted(options)}", file=sys.stderr)
+        return 2
+    if fmt not in ("text", "json"):
+        print(f"error: format must be 'text' or 'json', got {fmt!r}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(paths or [DEFAULT_TARGET])
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_json() if fmt == "json" else report.render_text())
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(__doc__)
         return 0
     command = argv[0]
-    kwargs = dict(pair.split("=", 1) for pair in argv[1:] if "=" in pair)
+    if command == "lint":
+        return _run_lint(argv[1:])
+    malformed = [arg for arg in argv[1:] if "=" not in arg]
+    if malformed:
+        print(
+            f"error: unrecognized argument {malformed[0]!r}; "
+            "options must be key=value pairs",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = dict(pair.split("=", 1) for pair in argv[1:])
     kwargs = {key: _parse_value(value) for key, value in kwargs.items()}
     if "workers" in kwargs:
         from .parallel import set_default_workers

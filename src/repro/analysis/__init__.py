@@ -1,0 +1,68 @@
+"""Determinism and aliasing static analysis for the track-join reproduction.
+
+The parallel engine (PR 3) promises bit-identical ledgers, inbox order,
+profiles, and outputs for any worker count, and ships message payloads
+as zero-copy views under a copy-on-conflict rule.  Those contracts are
+cheap to state and easy to erode; this package enforces them
+mechanically, in two complementary layers:
+
+:mod:`repro.analysis.engine`
+    A small AST-walking rule engine: rule registry, per-file diagnostics
+    (``path:line: CODE message``), suppression via ``# repro: noqa[CODE]``
+    comments, and text/JSON reporters.
+
+:mod:`repro.analysis.rules`
+    The rule catalogue encoding the repo's real invariants:
+
+    ========  ==========================================================
+    REP001    no unseeded randomness under ``src/repro/``
+    REP002    no wall-clock reads outside ``repro/timing``/``repro/perf``
+              and no set-iteration feeding sends or ledgers
+    REP003    no network sends that can bypass ``SendLane`` staging
+    REP004    no bare builtin exceptions in library code (use the
+              :class:`~repro.errors.ReproError` hierarchy)
+    REP005    no mutation of a numpy array after it was passed to a send
+    ========  ==========================================================
+
+:mod:`repro.analysis.sanitizer`
+    The runtime half of REP005: when enabled, payload arrays handed to a
+    staged (lane-bound) send are marked read-only until the phase
+    barrier commits, so a latent write-after-send aliasing bug raises
+    immediately at the offending store instead of silently corrupting a
+    message in flight.
+
+Run the static pass with ``python -m repro lint`` or ``make lint``.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Diagnostic,
+    FileContext,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+)
+from .rules import DEFAULT_TARGET
+from .sanitizer import sanitized, sanitizer_disable, sanitizer_enable, sanitizer_enabled
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "DEFAULT_TARGET",
+    "sanitized",
+    "sanitizer_enable",
+    "sanitizer_disable",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,259 @@
+"""AST-walking rule engine: registry, diagnostics, suppression, reporters.
+
+The engine is deliberately small and project-specific.  A rule is a
+class with a ``code`` (``REPnnn``), a one-line ``summary``, and a
+``check`` method that walks one file's AST and yields
+:class:`Diagnostic` objects.  :func:`lint_paths` runs every registered
+rule over a file tree, drops diagnostics suppressed by
+``# repro: noqa[CODE]`` comments, and returns a :class:`LintReport`
+that renders as text (``path:line: CODE message``) or JSON.
+
+Suppression syntax, on the flagged line::
+
+    destinations = set(nodes)  # repro: noqa[REP002] order normalized below
+    # repro: noqa[REP001,REP005]   -- several codes
+    # repro: noqa                  -- blanket (all codes); use sparingly
+
+Suppressions are counted in the report so a creeping pile of waivers
+stays visible.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "LintReport",
+    "register_rule",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]*)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: str | Path, source: str):
+        self.path = str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        try:
+            self.tree = ast.parse(source, filename=self.path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"{self.path}: cannot parse: {exc}") from exc
+        # Normalized with forward slashes so rules can match subtrees
+        # (e.g. "repro/timing/") on any platform.
+        self.posix_path = Path(self.path).as_posix()
+
+    def in_subtree(self, *fragments: str) -> bool:
+        """True if this file lives under any of the given path fragments."""
+        return any(fragment in self.posix_path for fragment in fragments)
+
+    def diagnostic(self, node: ast.AST, code: str, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+    def suppressed(self, diagnostic: Diagnostic) -> bool:
+        """True if the flagged line carries a matching noqa comment."""
+        if not 1 <= diagnostic.line <= len(self.lines):
+            return False
+        match = _NOQA.search(self.lines[diagnostic.line - 1])
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True  # blanket "# repro: noqa"
+        allowed = {c.strip() for c in codes.split(",") if c.strip()}
+        return diagnostic.code in allowed
+
+
+class Rule(abc.ABC):
+    """One invariant, checked per file."""
+
+    #: Stable diagnostic code, ``REPnnn``.
+    code: str = ""
+    #: One-line description shown in reports and the rule catalogue.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield a diagnostic for every violation found in ``ctx``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.code}: {self.summary}>"
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its code."""
+    instance = cls()
+    if not instance.code:
+        raise AnalysisError(f"rule {cls.__name__} has no code")
+    if instance.code in _REGISTRY:
+        raise AnalysisError(f"duplicate rule code {instance.code}")
+    _REGISTRY[instance.code] = instance
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registered rule catalogue, keyed by code."""
+    from . import rules  # noqa: F401  -- importing registers the rule set
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    diagnostics: list[Diagnostic]
+    files_scanned: int
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed diagnostics were found."""
+        return not self.diagnostics
+
+    def by_code(self) -> dict[str, int]:
+        """Unsuppressed diagnostic counts per rule code."""
+        counts: dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> dict:
+        """Compact machine-readable summary (the BENCH ``analysis`` section)."""
+        return {
+            "files_scanned": self.files_scanned,
+            "diagnostics": len(self.diagnostics),
+            "suppressed": self.suppressed,
+            "by_code": self.by_code(),
+            "rules": sorted(all_rules()),
+            "clean": self.clean,
+        }
+
+    def render_text(self) -> str:
+        """Text report: one line per diagnostic plus a closing summary."""
+        lines = [d.render() for d in sorted(self.diagnostics)]
+        counts = ", ".join(f"{code}={n}" for code, n in self.by_code().items())
+        lines.append(
+            f"{len(self.diagnostics)} problem(s) in {self.files_scanned} file(s)"
+            + (f" [{counts}]" if counts else "")
+            + (f", {self.suppressed} suppressed" if self.suppressed else "")
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """JSON report: summary plus the full diagnostic list."""
+        payload = dict(self.summary())
+        payload["findings"] = [d.to_dict() for d in sorted(self.diagnostics)]
+        return json.dumps(payload, indent=2)
+
+
+def lint_source(
+    source: str, path: str | Path = "<string>", rules: Sequence[Rule] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """Lint one source string; returns (diagnostics, suppressed count)."""
+    ctx = FileContext(path, source)
+    active = list(rules) if rules is not None else list(all_rules().values())
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for rule in active:
+        for diagnostic in rule.check(ctx):
+            if ctx.suppressed(diagnostic):
+                suppressed += 1
+            else:
+                kept.append(diagnostic)
+    kept.sort()
+    return kept, suppressed
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """Lint one file on disk; returns (diagnostics, suppressed count)."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    return lint_source(source, file_path, rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            found.add(path)
+        else:
+            raise AnalysisError(f"lint target {entry} is not a python file or directory")
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Run the rule set over files and directory trees."""
+    files = iter_python_files(paths)
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    for file_path in files:
+        found, skipped = lint_file(file_path, rules)
+        diagnostics.extend(found)
+        suppressed += skipped
+    return LintReport(
+        diagnostics=diagnostics, files_scanned=len(files), suppressed=suppressed
+    )

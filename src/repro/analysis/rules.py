@@ -1,0 +1,471 @@
+"""The REP rule catalogue: determinism and aliasing invariants as AST checks.
+
+Every rule here encodes a contract the runtime actually depends on (see
+the module docstrings of :mod:`repro.cluster.network` and
+:mod:`repro.parallel.executor`).  The checks are deliberately
+conservative and purely syntactic: they reason about names and lexical
+structure, not data flow across calls, so a clean report is a strong
+hint rather than a proof — and a flagged line is either a real hazard
+or a deliberate exception worth a visible ``# repro: noqa[CODE]``
+waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Diagnostic, FileContext, Rule, register_rule
+
+__all__ = ["DEFAULT_TARGET"]
+
+#: The tree `python -m repro lint` scans when no paths are given.
+DEFAULT_TARGET = "src/repro"
+
+#: time-module attributes that read wall or monotonic clocks.
+_CLOCK_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "thread_time",
+    "thread_time_ns",
+}
+
+#: numpy.random constructors that are deterministic *when seeded*.
+_SEEDABLE_RNG = {"default_rng", "Generator", "SeedSequence", "RandomState",
+                 "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+
+#: Builtin exception names library code must not raise directly.
+_BANNED_RAISES = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "ArithmeticError",
+}
+
+#: ndarray methods that mutate the array in place.
+_INPLACE_METHODS = {
+    "fill",
+    "sort",
+    "partition",
+    "put",
+    "resize",
+    "setfield",
+    "setflags",
+    "itemset",
+    "byteswap",
+}
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _imported_modules(tree: ast.Module) -> set[str]:
+    """Top-level module names bound by plain ``import`` statements."""
+    modules: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules.add(alias.asname or alias.name.split(".")[0])
+    return modules
+
+
+def _from_imports(tree: ast.Module, module: str) -> set[str]:
+    """Names bound by ``from <module> import ...`` statements."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    """REP001: every random stream must be constructed from an explicit seed.
+
+    A reproduction is only a reproduction if two runs agree; the repo's
+    convention (see ``repro.storage.placement`` and the workload
+    generators) is that randomness always flows from
+    ``np.random.default_rng(seed)`` with a caller-supplied seed.  This
+    rule flags ``default_rng()``/``Generator``-family constructors
+    called without arguments, any use of numpy's implicit global stream
+    (``np.random.seed``, ``np.random.randint``, ...), and the stdlib
+    ``random`` module's global functions.
+    """
+
+    code = "REP001"
+    summary = "unseeded or global-state randomness"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        stdlib_random = "random" in _imported_modules(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) >= 2 and chain[-2] == "random" and chain[0] in ("np", "numpy"):
+                attr = chain[-1]
+                if attr in _SEEDABLE_RNG:
+                    if not node.args and not node.keywords:
+                        yield ctx.diagnostic(
+                            node,
+                            self.code,
+                            f"np.random.{attr}() without an explicit seed; "
+                            "pass a seed so runs are reproducible",
+                        )
+                else:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"np.random.{attr} uses numpy's global random state; "
+                        "use np.random.default_rng(seed) instead",
+                    )
+            elif stdlib_random and len(chain) == 2 and chain[0] == "random":
+                attr = chain[1]
+                if attr in ("Random", "SystemRandom"):
+                    if attr == "SystemRandom" or (not node.args and not node.keywords):
+                        yield ctx.diagnostic(
+                            node,
+                            self.code,
+                            f"random.{attr} without a deterministic seed",
+                        )
+                else:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"random.{attr} draws from the global stdlib stream; "
+                        "use a seeded generator",
+                    )
+
+
+@register_rule
+class WallClockAndSetOrder(Rule):
+    """REP002: no wall-clock reads or set-iteration feeding network state.
+
+    Timing belongs to ``repro/timing`` (the calibrated model) and
+    ``repro/perf`` (the benchmark harness); a clock read anywhere else
+    leaks nondeterminism into values the engine promises are
+    bit-identical across runs.  Likewise, python ``set`` iteration order
+    is seeded per process, so a ``for`` loop over a set that sends
+    messages or touches a ledger produces run-dependent inbox order.
+    """
+
+    code = "REP002"
+    summary = "wall-clock read or set-iteration order feeding network state"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        exempt = ctx.in_subtree("repro/timing/", "repro/perf/")
+        clock_names = _from_imports(ctx.tree, "time") & _CLOCK_ATTRS
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and not exempt:
+                chain = _attr_chain(node.func)
+                if (
+                    len(chain) == 2
+                    and chain[0] == "time"
+                    and chain[1] in _CLOCK_ATTRS
+                ) or (len(chain) == 1 and chain[0] in clock_names):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"clock read {'.'.join(chain)}() outside repro/timing "
+                        "and repro/perf; timing must flow through the "
+                        "calibrated model",
+                    )
+                elif len(chain) >= 2 and chain[-1] in ("now", "utcnow", "today") and (
+                    "datetime" in chain or "date" in chain
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"wall-clock read {'.'.join(chain)}() in library code",
+                    )
+            if isinstance(node, ast.For) and self._iterates_set(node.iter):
+                if self._feeds_network(node.body):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        "iterating a set to send messages or record ledger "
+                        "state; set order is per-process — sort first",
+                    )
+
+    @staticmethod
+    def _iterates_set(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "set"
+        )
+
+    @staticmethod
+    def _feeds_network(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    chain = _attr_chain(node.func)
+                    if chain and chain[-1] in ("send", "send_batches", "record"):
+                        return True
+                if isinstance(node, ast.Attribute) and node.attr == "ledger":
+                    return True
+                if isinstance(node, ast.Name) and node.id == "ledger":
+                    return True
+        return False
+
+
+@register_rule
+class SendLaneBypass(Rule):
+    """REP003: sends must reach the network where lane staging can see them.
+
+    During an open phase, determinism rests on every task's sends being
+    staged in its bound :class:`~repro.cluster.network.SendLane` and
+    committed at the barrier in task order.  Two syntactic shapes defeat
+    that: (a) touching the network's private spool (``_inboxes``,
+    ``_phase_lanes``) from outside the network module, and (b) a closure
+    that calls ``.send``/``.send_batches`` inside an enclosing function
+    that never routes work through ``run_phase`` (or binds a lane
+    itself) — if such a closure ever runs on a pool thread while a phase
+    is open, its sends commit immediately and the barrier no longer
+    orders them.
+    """
+
+    code = "REP003"
+    summary = "network send can bypass SendLane staging"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        is_network_module = ctx.in_subtree("repro/cluster/network.py")
+        if not is_network_module:
+            for node in ast.walk(ctx.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in ("_inboxes", "_phase_lanes")
+                    # self._phase_lanes is a class managing its own lanes
+                    # (ExecutionProfile), not a bypass of the network's.
+                    and not (
+                        isinstance(node.value, ast.Name) and node.value.id == "self"
+                    )
+                ):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"direct access to Network.{node.attr} bypasses "
+                        "SendLane staging and the phase barrier",
+                    )
+        yield from self._check_closures(ctx, ctx.tree, enclosing=[])
+
+    def _check_closures(
+        self, ctx: FileContext, node: ast.AST, enclosing: list[ast.AST]
+    ) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if len(enclosing) >= 1:  # nested def: a phase-task closure
+                    if not any(self._stages_lanes(outer) for outer in enclosing):
+                        for send in self._direct_sends(child):
+                            yield ctx.diagnostic(
+                                send,
+                                self.code,
+                                "closure sends without the enclosing function "
+                                "running it via run_phase/bind_lane; if this "
+                                "runs during an open phase the send skips "
+                                "SendLane staging",
+                            )
+                yield from self._check_closures(ctx, child, enclosing + [child])
+            else:
+                yield from self._check_closures(ctx, child, enclosing)
+
+    @staticmethod
+    def _stages_lanes(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and node.attr in (
+                "run_phase",
+                "bind_lane",
+            ):
+                return True
+            if isinstance(node, ast.Name) and node.id in ("run_phase", "bind_lane"):
+                return True
+        return False
+
+    @staticmethod
+    def _direct_sends(func: ast.AST) -> list[ast.Call]:
+        sends = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if chain and chain[-1] in ("send", "send_batches"):
+                    sends.append(node)
+        return sends
+
+
+@register_rule
+class BareBuiltinRaise(Rule):
+    """REP004: library errors derive from the ``ReproError`` hierarchy.
+
+    Raising bare builtins (``ValueError``, ``KeyError``, ...) makes
+    library failures indistinguishable from programming errors at call
+    sites.  ``repro.errors`` provides dual-inheritance classes
+    (:class:`~repro.errors.ValidationError`,
+    :class:`~repro.errors.UnknownKeyError`) so converting a raise never
+    breaks callers that catch the builtin.  ``NotImplementedError`` and
+    ``AssertionError`` stay legal (abstract hooks, internal checks).
+    """
+
+    code = "REP004"
+    summary = "bare builtin exception raised in library code"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BANNED_RAISES:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"raise {name} in library code; use the ReproError "
+                    "hierarchy (e.g. ValidationError, UnknownKeyError)",
+                )
+
+
+@register_rule
+class WriteAfterSend(Rule):
+    """REP005: a payload handed to a send is frozen until rebound.
+
+    The network transports payloads zero-copy; mutating an array after
+    passing it to ``send``/``send_batches`` rewrites a message already
+    in flight (the copy-on-conflict rule of
+    :mod:`repro.cluster.network`).  This is a conservative
+    intra-function escape check: within one function body, a *name*
+    passed as a payload must not be mutated on a later line (subscript
+    store, augmented assignment, in-place ndarray method, or ``out=``
+    target) unless the name is first rebound to a fresh object.  The
+    runtime sanitizer (:mod:`repro.analysis.sanitizer`) covers the
+    flow-sensitive cases this rule cannot see.
+    """
+
+    code = "REP005"
+    summary = "numpy array mutated after being passed to a send"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Diagnostic]:
+        events: list[tuple[int, int, str, str, ast.AST]] = []
+
+        for node in ast.walk(func):
+            pos = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if isinstance(node, ast.Call):
+                payload = self._payload_name(node)
+                if payload is not None:
+                    events.append((*pos, "send", payload, node))
+                for kw in node.keywords:
+                    if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                        events.append((*pos, "mutate", kw.value.id, node))
+                chain = _attr_chain(node.func)
+                if (
+                    len(chain) >= 2
+                    and chain[-1] in _INPLACE_METHODS
+                ):
+                    events.append((*pos, "mutate", chain[0], node))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name in self._store_names(target):
+                        events.append((*pos, "rebind", name, node))
+                    for name in self._subscript_names(target):
+                        events.append((*pos, "mutate", name, node))
+            elif isinstance(node, ast.AugAssign):
+                for name in self._store_names(node.target):
+                    events.append((*pos, "mutate", name, node))
+                for name in self._subscript_names(node.target):
+                    events.append((*pos, "mutate", name, node))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name in self._store_names(node.target):
+                    events.append((*pos, "rebind", name, node))
+
+        events.sort(key=lambda e: (e[0], e[1]))
+        sent: dict[str, int] = {}
+        for line, _col, kind, name, node in events:
+            if kind == "send":
+                sent[name] = line
+            elif kind == "rebind":
+                sent.pop(name, None)
+            elif kind == "mutate" and name in sent:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{name!r} is mutated after being passed to a send on "
+                    f"line {sent[name]}; the payload is in flight zero-copy "
+                    "— copy before sending or send a fresh array",
+                )
+
+    @staticmethod
+    def _payload_name(call: ast.Call) -> str | None:
+        chain = _attr_chain(call.func)
+        if not chain:
+            return None
+        arg: ast.AST | None = None
+        if chain[-1] == "send":
+            for kw in call.keywords:
+                if kw.arg == "payload":
+                    arg = kw.value
+            if arg is None and len(call.args) >= 5:
+                arg = call.args[4]
+        elif chain[-1] == "send_batches":
+            for kw in call.keywords:
+                if kw.arg == "batches":
+                    arg = kw.value
+            if arg is None and len(call.args) >= 3:
+                arg = call.args[2]
+        if isinstance(arg, ast.Name):
+            return arg.id
+        return None
+
+    @staticmethod
+    def _store_names(target: ast.AST) -> list[str]:
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names = []
+            for element in target.elts:
+                names.extend(WriteAfterSend._store_names(element))
+            return names
+        return []
+
+    @staticmethod
+    def _subscript_names(target: ast.AST) -> list[str]:
+        if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            return [target.value.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            names = []
+            for element in target.elts:
+                names.extend(WriteAfterSend._subscript_names(element))
+            return names
+        return []

@@ -1,0 +1,184 @@
+"""Runtime payload sanitizer: freeze sent views until the barrier commits.
+
+The network ships payloads zero-copy (see :mod:`repro.cluster.network`):
+a sender must not mutate an array's buffers after handing it to
+``send``.  The static REP005 rule catches the lexically obvious cases;
+this module catches the rest at runtime.  While enabled, every numpy
+array reachable from a payload staged by a lane-bound send — including
+the arrays inside :class:`~repro.storage.table.LocalPartition` batches
+and the view's base chain, so writes through the original buffer are
+caught too — is marked read-only until the phase barrier
+(``end_phase``/``abort_phase``) commits or discards the lane.  A latent
+write-after-send then raises ``ValueError: assignment destination is
+read-only`` at the exact offending store instead of silently corrupting
+a message in flight.
+
+Sends outside an open phase keep immediate semantics and are not
+frozen: they are coordinator-side, single-threaded, and have no barrier
+to thaw at.
+
+Enabling is process-global and reference-counted, so nested
+``sanitized()`` blocks and a conftest-level enable compose::
+
+    from repro.analysis import sanitized
+
+    with sanitized():
+        join.run(cluster, r, s)   # aliasing bugs raise immediately
+
+The tier-1 test suite runs entirely sanitized (see ``tests/conftest.py``;
+set ``REPRO_SANITIZE=0`` to opt out).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..cluster.network import Network
+
+__all__ = ["sanitizer_enable", "sanitizer_disable", "sanitizer_enabled", "sanitized"]
+
+_lock = threading.Lock()
+_depth = 0
+_saved: dict[str, Any] = {}
+
+#: Per-network attribute holding {id(array): (array, original_writeable)}
+#: for every array frozen during the currently open phase.
+_FROZEN_ATTR = "_sanitizer_frozen"
+
+_freeze_lock = threading.Lock()
+
+
+def _payload_arrays(payload: Any, depth: int = 0) -> Iterator[np.ndarray]:
+    """Yield every numpy array reachable from a message payload.
+
+    Understands the payload shapes the operators actually send: bare
+    ndarrays, ``LocalPartition``-like objects (``keys`` plus a
+    ``columns`` dict), and lists/tuples/dicts of those.  The walk is
+    bounded so a pathological payload cannot recurse forever.
+    """
+    if depth > 4 or payload is None:
+        return
+    if isinstance(payload, np.ndarray):
+        yield payload
+        return
+    if isinstance(payload, (list, tuple)):
+        for item in payload:
+            yield from _payload_arrays(item, depth + 1)
+        return
+    if isinstance(payload, dict):
+        for item in payload.values():
+            yield from _payload_arrays(item, depth + 1)
+        return
+    keys = getattr(payload, "keys", None)
+    columns = getattr(payload, "columns", None)
+    if isinstance(keys, np.ndarray):
+        yield keys
+    if isinstance(columns, dict):
+        for item in columns.values():
+            yield from _payload_arrays(item, depth + 1)
+
+
+def _chain_depth(array: np.ndarray) -> int:
+    """Number of ``.base`` hops from a view to its owning array."""
+    depth = 0
+    base = array.base
+    while isinstance(base, np.ndarray):
+        depth += 1
+        base = base.base
+    return depth
+
+
+def _freeze_payload(network: Network, payload: Any) -> None:
+    """Mark payload arrays (and their base chains) read-only.
+
+    Each array is recorded once with its pre-freeze writeability, under
+    a lock so two lane-bound sends of views over the same buffer cannot
+    record an already-frozen state as the original.
+    """
+    with _freeze_lock:
+        frozen = network.__dict__.setdefault(_FROZEN_ATTR, {})
+        for array in _payload_arrays(payload):
+            target: np.ndarray | None = array
+            while isinstance(target, np.ndarray):
+                key = id(target)
+                if key not in frozen:
+                    frozen[key] = (target, target.flags.writeable)
+                    target.flags.writeable = False
+                target = target.base  # writes through the base alias the view
+
+
+def _thaw_network(network: Network) -> None:
+    """Restore every frozen array to its pre-send writeability.
+
+    Owning arrays thaw before their views: numpy refuses to make a view
+    writeable while its base is still read-only.
+    """
+    with _freeze_lock:
+        frozen = network.__dict__.pop(_FROZEN_ATTR, {})
+    for array, writeable in sorted(frozen.values(), key=lambda e: _chain_depth(e[0])):
+        if writeable:
+            array.flags.writeable = True
+
+
+def _sanitized_send(self: Network, src, dst, category, nbytes, payload=None):
+    _saved["send"](self, src, dst, category, nbytes, payload)
+    if getattr(self._tls, "lane", None) is not None:
+        _freeze_payload(self, payload)
+
+
+def _sanitized_end_phase(self: Network) -> None:
+    _saved["end_phase"](self)
+    _thaw_network(self)
+
+
+def _sanitized_abort_phase(self: Network) -> None:
+    _saved["abort_phase"](self)
+    _thaw_network(self)
+
+
+def sanitizer_enable() -> None:
+    """Install the sanitizer on :class:`Network` (reference-counted)."""
+    global _depth
+    with _lock:
+        _depth += 1
+        if _depth > 1:
+            return
+        _saved["send"] = Network.send
+        _saved["end_phase"] = Network.end_phase
+        _saved["abort_phase"] = Network.abort_phase
+        Network.send = _sanitized_send  # type: ignore[method-assign]
+        Network.end_phase = _sanitized_end_phase  # type: ignore[method-assign]
+        Network.abort_phase = _sanitized_abort_phase  # type: ignore[method-assign]
+
+
+def sanitizer_disable() -> None:
+    """Drop one enable; the patch is removed when the count reaches zero."""
+    global _depth
+    with _lock:
+        if _depth == 0:
+            return
+        _depth -= 1
+        if _depth > 0:
+            return
+        Network.send = _saved.pop("send")  # type: ignore[method-assign]
+        Network.end_phase = _saved.pop("end_phase")  # type: ignore[method-assign]
+        Network.abort_phase = _saved.pop("abort_phase")  # type: ignore[method-assign]
+
+
+def sanitizer_enabled() -> bool:
+    """True while at least one enable is outstanding."""
+    return _depth > 0
+
+
+@contextmanager
+def sanitized():
+    """Context manager form of enable/disable."""
+    sanitizer_enable()
+    try:
+        yield
+    finally:
+        sanitizer_disable()

@@ -15,6 +15,7 @@ import math
 import numpy as np
 
 from ..util import mix64
+from ..errors import ValidationError
 
 __all__ = ["BloomFilter", "optimal_bits_per_element", "optimal_num_hashes"]
 
@@ -22,7 +23,7 @@ __all__ = ["BloomFilter", "optimal_bits_per_element", "optimal_num_hashes"]
 def optimal_bits_per_element(false_positive_rate: float) -> float:
     """Bits per element minimizing space for a target error rate."""
     if not 0.0 < false_positive_rate < 1.0:
-        raise ValueError(f"false positive rate must be in (0, 1), got {false_positive_rate}")
+        raise ValidationError(f"false positive rate must be in (0, 1), got {false_positive_rate}")
     return -math.log(false_positive_rate) / (math.log(2) ** 2)
 
 
@@ -36,9 +37,9 @@ class BloomFilter:
 
     def __init__(self, num_bits: int, num_hashes: int):
         if num_bits <= 0:
-            raise ValueError(f"num_bits must be positive, got {num_bits}")
+            raise ValidationError(f"num_bits must be positive, got {num_bits}")
         if num_hashes <= 0:
-            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+            raise ValidationError(f"num_hashes must be positive, got {num_hashes}")
         self.num_bits = int(num_bits)
         self.num_hashes = int(num_hashes)
         self._bits = np.zeros((self.num_bits + 7) // 8, dtype=np.uint8)
@@ -86,7 +87,7 @@ class BloomFilter:
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Union of two identically-configured filters."""
         if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
-            raise ValueError("cannot union Bloom filters with different shapes")
+            raise ValidationError("cannot union Bloom filters with different shapes")
         merged = BloomFilter(self.num_bits, self.num_hashes)
         merged._bits = self._bits | other._bits
         return merged

@@ -335,6 +335,18 @@ class Network:
             if messages:
                 yield node, messages
 
+    def requeue(self, dst: int, messages: Sequence[Message]) -> None:
+        """Put selectively-drained messages back on ``dst``'s inbox tail.
+
+        For receivers that :meth:`deliver` a full inbox but consume only
+        one message category: undrained messages return through this
+        accessor instead of the private inbox list, so the REP003 lint
+        rule can hold everything else to the SendLane staging contract.
+        Requeued messages were already accounted when first sent.
+        """
+        self._check_node(dst)
+        self._inboxes[dst].extend(messages)
+
     def pending_messages(self) -> int:
         """Number of sent-but-undelivered messages (should be 0 after a join).
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..errors import ValidationError
 from ..fastpath import fused_enabled
 from ..joins.base import DistributedJoin, JoinSpec
 from ..joins.local import join_indices, local_join
@@ -126,7 +127,7 @@ class TrackJoin2(_TrackJoinBase):
 
     def __init__(self, direction: str = "RS"):
         if direction not in ("RS", "SR"):
-            raise ValueError(f"direction must be 'RS' or 'SR', got {direction!r}")
+            raise ValidationError(f"direction must be 'RS' or 'SR', got {direction!r}")
         self.forced_direction = direction
         self.name = "2TJ-R" if direction == "RS" else "2TJ-S"
 

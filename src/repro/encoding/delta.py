@@ -13,6 +13,7 @@ import numpy as np
 
 from .base import Encoding
 from ..storage.schema import Column
+from ..errors import ValidationError
 
 __all__ = ["DeltaEncoding", "delta_encoded_size"]
 
@@ -60,7 +61,7 @@ class DeltaEncoding(Encoding):
         out = bytearray()
         for delta in deltas.tolist():
             if delta < 0:
-                raise ValueError("delta codec needs non-negative sorted input")
+                raise ValidationError("delta codec needs non-negative sorted input")
             while True:
                 byte = delta & 0x7F
                 delta >>= 7

@@ -19,6 +19,7 @@ import math
 import numpy as np
 
 from ..storage.schema import Column
+from ..errors import ValidationError
 from .base import Encoding
 
 __all__ = ["DictionaryEncoding", "min_bits", "pack_bits", "unpack_bits"]
@@ -34,7 +35,7 @@ def min_bits(distinct_values: int) -> int:
 def pack_bits(values: np.ndarray, bits: int) -> bytes:
     """Pack non-negative integers below ``2**bits`` into a dense bitstream."""
     if bits <= 0 or bits > 64:
-        raise ValueError(f"bit width out of range: {bits}")
+        raise ValidationError(f"bit width out of range: {bits}")
     if len(values) == 0:
         return b""
     as_bits = (
@@ -74,7 +75,7 @@ class DictionaryEncoding(Encoding):
     def decode(self, data: bytes, count: int) -> np.ndarray:
         dict_size, bits, stored = np.frombuffer(data, dtype=np.int64, count=3)
         if stored != count:
-            raise ValueError(f"stream holds {stored} values, caller expected {count}")
+            raise ValidationError(f"stream holds {stored} values, caller expected {count}")
         offset = 3 * 8
         dictionary = np.frombuffer(data, dtype=np.int64, count=int(dict_size), offset=offset)
         offset += int(dict_size) * 8

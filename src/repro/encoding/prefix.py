@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from .dictionary import pack_bits, unpack_bits
+from ..errors import ValidationError
 
 __all__ = ["prefix_partitioned_size", "PrefixCodec"]
 
@@ -26,7 +27,7 @@ def prefix_partitioned_size(values: np.ndarray, value_bits: int, prefix_bits: in
     only its ``value_bits - prefix_bits`` suffix.
     """
     if prefix_bits < 0 or prefix_bits > value_bits:
-        raise ValueError(f"prefix_bits {prefix_bits} out of range for {value_bits}-bit values")
+        raise ValidationError(f"prefix_bits {prefix_bits} out of range for {value_bits}-bit values")
     if len(values) == 0:
         return 0.0
     if prefix_bits == 0:
@@ -42,7 +43,7 @@ class PrefixCodec:
 
     def __init__(self, value_bits: int, prefix_bits: int):
         if not 0 < prefix_bits < value_bits <= 63:
-            raise ValueError("need 0 < prefix_bits < value_bits <= 63")
+            raise ValidationError("need 0 < prefix_bits < value_bits <= 63")
         self.value_bits = value_bits
         self.prefix_bits = prefix_bits
 

@@ -18,6 +18,7 @@ import math
 import numpy as np
 
 from ..storage.schema import Column
+from ..errors import ValidationError
 from .base import Encoding
 
 __all__ = ["VarByteEncoding"]
@@ -38,7 +39,7 @@ class VarByteEncoding(Encoding):
         out = bytearray()
         for value in values.tolist():
             if value < 0:
-                raise ValueError("base-100 codec stores non-negative values only")
+                raise ValidationError("base-100 codec stores non-negative values only")
             digits = len(str(value))
             nbytes = max(1, math.ceil(digits / 2))
             out.append(nbytes)  # 1-byte length header

@@ -41,3 +41,27 @@ class WorkloadError(ReproError):
 
 class ParallelError(ReproError):
     """The parallel execution engine was misconfigured or misused."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or configuration value is out of its legal domain.
+
+    Derives from :class:`ValueError` as well as :class:`ReproError` so
+    callers that guard with ``except ValueError`` keep working while the
+    whole library stays catchable under one hierarchy (the REP004 lint
+    rule bans raising bare builtins from library code).
+    """
+
+
+class UnknownKeyError(ReproError, KeyError):
+    """A registry or lookup was asked for an id it does not contain.
+
+    Derives from :class:`KeyError` for backwards compatibility with
+    callers that catch the builtin.  Note the :class:`KeyError` quirk:
+    ``str(exc)`` is the ``repr`` of the message; use ``exc.args[0]`` for
+    the human-readable text.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis engine was given an unreadable or invalid input."""

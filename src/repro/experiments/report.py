@@ -10,6 +10,7 @@ the paper's tables and figures as readable output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from ..errors import UnknownKeyError
 
 __all__ = ["Row", "Group", "ExperimentResult", "render", "render_bars", "to_dict"]
 
@@ -57,7 +58,7 @@ class ExperimentResult:
                 for row in group.rows:
                     if row.label == row_label:
                         return row
-        raise KeyError(f"{self.experiment_id}: no row {group_label!r}/{row_label!r}")
+        raise UnknownKeyError(f"{self.experiment_id}: no row {group_label!r}/{row_label!r}")
 
     def measured(self, group_label: str, row_label: str) -> float:
         """Measured value of one row (test helper)."""

@@ -9,6 +9,7 @@ callable that reproduces it.  :func:`run_experiment` executes one and
 from __future__ import annotations
 
 from typing import Callable
+from ..errors import UnknownKeyError
 
 from .figures import (
     run_fig1_fig2,
@@ -48,7 +49,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one registered experiment by id."""
     if experiment_id not in EXPERIMENTS:
-        raise KeyError(
+        raise UnknownKeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         )
     return EXPERIMENTS[experiment_id](**kwargs)

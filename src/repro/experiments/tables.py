@@ -16,7 +16,6 @@ from ..core.track_join import TrackJoin2, TrackJoin3, TrackJoin4
 from ..joins.base import JoinSpec
 from ..joins.grace_hash import GraceHashJoin
 from ..timing.hardware import HardwareModel, paper_cluster_2014, scaled_network
-from ..timing.profile import NET
 from ..workloads.base import Workload
 from ..workloads.real import workload_x, workload_y
 from . import paperdata

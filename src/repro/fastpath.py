@@ -23,6 +23,7 @@ ledger, and the same execution profile; only wall-clock differs.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from .errors import ValidationError
 
 __all__ = ["LOOP", "FUSED", "scatter_mode", "set_scatter_mode", "use_scatter_mode", "fused_enabled"]
 
@@ -46,7 +47,7 @@ def set_scatter_mode(mode: str) -> str:
     """Select the scatter mode; returns the previous mode."""
     global _mode
     if mode not in (LOOP, FUSED):
-        raise ValueError(f"scatter mode must be {LOOP!r} or {FUSED!r}, got {mode!r}")
+        raise ValidationError(f"scatter mode must be {LOOP!r} or {FUSED!r}, got {mode!r}")
     previous = _mode
     _mode = mode
     return previous

@@ -12,8 +12,6 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass, TrafficLedger
 from ..encoding.base import Encoding
@@ -204,6 +202,6 @@ class DistributedJoin(abc.ABC):
                 kept.append(msg.payload)
             else:
                 requeue.append(msg)
-        for msg in requeue:  # pragma: no cover - joins drain homogeneously
-            cluster.network._inboxes[dst].append(msg)
+        if requeue:  # pragma: no cover - joins drain homogeneously
+            cluster.network.requeue(dst, requeue)
         return kept

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..errors import ValidationError
 from ..fastpath import fused_enabled
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
@@ -25,7 +26,7 @@ class BroadcastJoin(DistributedJoin):
 
     def __init__(self, broadcast: str = "R"):
         if broadcast not in ("R", "S"):
-            raise ValueError(f"broadcast side must be 'R' or 'S', got {broadcast!r}")
+            raise ValidationError(f"broadcast side must be 'R' or 'S', got {broadcast!r}")
         self.broadcast = broadcast
         self.name = f"BJ-{broadcast}"
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..util import mix64
+from ..errors import ValidationError
 
 __all__ = ["HashTable", "hash_join_indices"]
 
@@ -33,7 +34,7 @@ class HashTable:
     def __init__(self, keys: np.ndarray, load_factor: float = 0.5):
         keys = np.asarray(keys, dtype=np.int64)
         if not 0.0 < load_factor < 1.0:
-            raise ValueError(f"load factor must be in (0, 1), got {load_factor}")
+            raise ValidationError(f"load factor must be in (0, 1), got {load_factor}")
         capacity = 8
         while capacity * load_factor < max(1, len(keys)):
             capacity *= 2

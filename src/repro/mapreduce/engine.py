@@ -29,6 +29,7 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass, TrafficLedger
+from ..errors import ValidationError
 from ..storage.table import LocalPartition
 from ..timing.profile import ExecutionProfile
 from ..util import hash_partition
@@ -150,7 +151,7 @@ class MapReduceJob:
             else:
                 destinations = np.asarray(routed, dtype=np.int64)
                 if len(destinations) != mapped.num_rows:
-                    raise ValueError(
+                    raise ValidationError(
                         f"partitioner of channel {channel.name!r} returned "
                         f"{len(destinations)} destinations for {mapped.num_rows} records"
                     )

@@ -27,7 +27,7 @@ from ..cluster.network import MessageClass
 from ..joins.base import JoinSpec
 from ..joins.local import join_indices, local_join
 from ..storage.table import DistributedTable, LocalPartition
-from ..util import segmented_cartesian, segment_boundaries, segment_ids
+from ..util import segmented_cartesian
 from .engine import Channel, MapReduceJob, MapReduceResult
 
 __all__ = ["mr_hash_join", "mr_track_join"]

@@ -8,6 +8,7 @@ from .bench import (
     bench_smoke,
     best_time,
     check_regressions,
+    lint_summary,
     peak_alloc,
     write_report,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "bench_smoke",
     "best_time",
     "check_regressions",
+    "lint_summary",
     "peak_alloc",
     "write_report",
 ]

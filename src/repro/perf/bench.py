@@ -55,6 +55,7 @@ __all__ = [
     "bench_scaling_report",
     "bench_smoke",
     "check_regressions",
+    "lint_summary",
     "write_report",
 ]
 
@@ -381,6 +382,20 @@ def write_report(path: str | Path, payload: dict) -> None:
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def lint_summary() -> dict:
+    """Static-health summary of the package source (rule counts, files).
+
+    Recorded into ``BENCH_joins.json`` under ``"analysis"`` so the
+    growth trajectory tracks determinism/aliasing lint state alongside
+    perf.  The scan targets the installed package directory, so it works
+    from any working directory.
+    """
+    from ..analysis import lint_paths
+
+    package_dir = Path(__file__).resolve().parents[1]
+    return lint_paths([package_dir]).summary()
+
+
 def check_regressions(
     kernels: dict, baseline: dict, threshold: float = 2.0
 ) -> list[str]:
@@ -429,6 +444,7 @@ def bench_smoke(
         "kernels": kernels,
         "joins": joins,
         "scaling": scaling,
+        "analysis": lint_summary(),
     }
     write_report(out_path, payload)
     print(f"wrote {out_path}")

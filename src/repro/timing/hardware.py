@@ -23,6 +23,7 @@ by roughly what factor — without the authors' testbed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from ..errors import UnknownKeyError, ValidationError
 
 from .profile import CPU, LOCAL, NET, ExecutionProfile, Step
 
@@ -61,7 +62,7 @@ class HardwareModel:
     def rate_for(self, rate_class: str) -> float:
         """CPU rate (bytes/s/node) for a rate class."""
         if rate_class not in self.cpu_rates:
-            raise KeyError(
+            raise UnknownKeyError(
                 f"hardware model has no rate for {rate_class!r}; "
                 f"known classes: {sorted(self.cpu_rates)}"
             )
@@ -158,7 +159,7 @@ def bottleneck_seconds(ledger, per_link_bandwidth: float) -> float:
     per-link byte counts.
     """
     if per_link_bandwidth <= 0:
-        raise ValueError(f"link bandwidth must be positive, got {per_link_bandwidth}")
+        raise ValidationError(f"link bandwidth must be positive, got {per_link_bandwidth}")
     if not ledger.by_link:
         return 0.0
     busiest = max(ledger.by_link.values())

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from ..errors import ValidationError
 
 import numpy as np
 
@@ -86,7 +87,7 @@ class ExecutionProfile:
     def begin_phase(self, num_lanes: int) -> list["ExecutionProfile"]:
         """Open a phase with one private lane profile per task."""
         if self._phase_lanes is not None:
-            raise ValueError("a profile phase is already open (missing barrier?)")
+            raise ValidationError("a profile phase is already open (missing barrier?)")
         self._phase_lanes = [ExecutionProfile(self.num_nodes) for _ in range(num_lanes)]
         return self._phase_lanes
 
@@ -104,7 +105,7 @@ class ExecutionProfile:
         """Barrier: merge all lane profiles back, in task order."""
         lanes = self._phase_lanes
         if lanes is None:
-            raise ValueError("no profile phase is open")
+            raise ValidationError("no profile phase is open")
         self._phase_lanes = None
         for lane in lanes:
             self.merge(lane)
@@ -127,7 +128,7 @@ class ExecutionProfile:
             return lane._accumulate(name, kind, rate_class, per_node)
         per_node = np.asarray(per_node, dtype=np.float64)
         if per_node.shape != (self.num_nodes,):
-            raise ValueError(
+            raise ValidationError(
                 f"step {name!r}: expected {self.num_nodes} per-node values, "
                 f"got shape {per_node.shape}"
             )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .fastpath import fused_enabled
+from .errors import ValidationError
 
 __all__ = [
     "hash_partition",
@@ -71,7 +72,7 @@ def hash_partition(keys: np.ndarray, num_nodes: int, seed: int = 0) -> np.ndarra
     track join for every distinct key.
     """
     if num_nodes <= 0:
-        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        raise ValidationError(f"num_nodes must be positive, got {num_nodes}")
     mixed = mix64(keys, seed)
     if num_nodes & (num_nodes - 1) == 0:
         # Power-of-two cluster sizes mask instead of dividing; identical
@@ -267,20 +268,20 @@ def pack_composite_keys(columns: list[np.ndarray], bits: list[int]) -> np.ndarra
     overflows its column's width.
     """
     if len(columns) != len(bits):
-        raise ValueError(f"{len(columns)} columns but {len(bits)} widths")
+        raise ValidationError(f"{len(columns)} columns but {len(bits)} widths")
     if not columns:
-        raise ValueError("composite key needs at least one column")
+        raise ValidationError("composite key needs at least one column")
     if sum(bits) > 63:
-        raise ValueError(f"composite key of {sum(bits)} bits exceeds 63")
+        raise ValidationError(f"composite key of {sum(bits)} bits exceeds 63")
     packed = np.zeros(len(columns[0]), dtype=np.int64)
     for values, width in zip(columns, bits):
         values = np.asarray(values, dtype=np.int64)
         if len(values) != len(packed):
-            raise ValueError("key columns must have equal length")
+            raise ValidationError("key columns must have equal length")
         if width <= 0:
-            raise ValueError(f"column width must be positive, got {width}")
+            raise ValidationError(f"column width must be positive, got {width}")
         if len(values) and (values.min() < 0 or values.max() >= (1 << width)):
-            raise ValueError(f"value out of range for a {width}-bit key column")
+            raise ValidationError(f"value out of range for a {width}-bit key column")
         packed = (packed << np.int64(width)) | values
     return packed
 

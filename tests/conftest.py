@@ -6,13 +6,36 @@ The canonicalization helpers are the public ones from
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import Cluster
+from repro.analysis import sanitizer_disable, sanitizer_enable
 from repro.testing import assert_same_output, canonical_output, scatter_tables
 
 __all__ = ["assert_same_output", "canonical_output", "make_tables"]
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _payload_sanitizer():
+    """Run the whole tier-1 suite under the aliasing sanitizer.
+
+    Every numpy array staged by a lane-bound send is read-only until the
+    phase barrier commits, so a write-after-send aliasing bug anywhere
+    in the suite raises at the offending store.  Opt out with
+    ``REPRO_SANITIZE=0`` (e.g. to bisect whether a failure is the bug
+    itself or the sanitizer surfacing it).
+    """
+    if os.environ.get("REPRO_SANITIZE", "1") == "0":
+        yield
+        return
+    sanitizer_enable()
+    try:
+        yield
+    finally:
+        sanitizer_disable()
 
 
 def make_tables(

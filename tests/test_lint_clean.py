@@ -1,0 +1,36 @@
+"""Repo-wide self-lint: tier-1 fails if a violation is reintroduced.
+
+The REP rule set encodes contracts the runtime depends on (seeded
+randomness, barrier-staged sends, the ReproError hierarchy, the
+zero-copy payload rule).  Running the analyzer over ``src/repro``
+inside pytest makes the lint gate part of the tier-1 suite, so a future
+PR cannot silently regress an invariant that only CI's lint job would
+have caught.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_repo_source_is_lint_clean():
+    report = lint_paths([REPO_SRC])
+    assert report.clean, "\n" + report.render_text()
+
+
+def test_lint_sweep_covers_the_whole_tree():
+    report = lint_paths([REPO_SRC])
+    # The analyzer itself, the operators, and every subsystem package:
+    # a sweep that silently scanned a subset would gut the gate.
+    assert report.files_scanned >= 75
+    assert report.summary()["rules"] == [
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+    ]
