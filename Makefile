@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-scaling bench-full
+.PHONY: test test-exchange lint bench bench-smoke bench-scaling bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Exchange-layer gate: lint the communication primitives, then run
+# their unit tests plus the golden-equivalence suite that pins every
+# operator's traffic ledger byte-for-byte.
+test-exchange:
+	$(PYTHON) -m repro lint src/repro/exchange
+	$(PYTHON) -m pytest tests/test_exchange.py tests/test_exchange_golden.py -q
 
 # Static analysis: the project's REP determinism/aliasing rules always
 # run; ruff and mypy run when installed (pip install -e .[dev]) and are

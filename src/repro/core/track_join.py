@@ -30,13 +30,16 @@ import numpy as np
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
 from ..errors import ValidationError
+from ..exchange.gather import absorb_received
+from ..exchange.locations import LocationExchange
+from ..exchange.migrate import Migrate
+from ..exchange.selective import SelectiveBroadcast
 from ..fastpath import fused_enabled
 from ..joins.base import DistributedJoin, JoinSpec
-from ..joins.local import join_indices, local_join
+from ..joins.local import local_join
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
-from ..util import segment_ids, segmented_cartesian, stable_argsort_bounded
-from .messages import location_message_bytes
+from ..util import segment_ids, segmented_cartesian
 from .schedule import ScheduleSet, generate_schedules
 from .tracking import run_tracking_phase
 
@@ -207,7 +210,12 @@ def _execute_schedules(
             cluster, spec, profile, tracking, seg, sched, side, entry_mask,
             work, widths, key_width,
         )
-    _apply_received_tuples(cluster, work)
+    # Consolidation barrier: moved tuples join their destination's local
+    # fragment before the selective broadcasts run against it.
+    absorb_received(
+        cluster,
+        {MessageClass.R_TUPLES: work["R"], MessageClass.S_TUPLES: work["S"]},
+    )
 
     # ---- Phase B: location messages + selective broadcasts.
     not_migrating = ~sched.migrate
@@ -227,14 +235,20 @@ def _execute_schedules(
         pair_dst = tracking.nodes[d_idx][ib]
         pair_key = tracking.keys[b_idx][ia]
         pair_t = tracking.t_nodes[seg_b][ia]
-        step = f"Tran. {b_side} → {t_side} keys, nodes"
-        _account_pair_messages(
-            cluster, spec, profile, step, pair_t, pair_src, pair_dst, key_width
+        _locations(spec, key_width, f"Tran. {b_side} → {t_side} keys, nodes").run(
+            cluster, profile, pair_t, pair_src, pair_dst
         )
-        _broadcast_tuples(
-            cluster, spec, profile, work, b_side, t_side,
-            pair_src, pair_dst, pair_key, widths, key_width, categories,
-        )
+        SelectiveBroadcast(
+            category=categories[b_side],
+            width=widths[b_side],
+            match_width=key_width + spec.location_width,
+            transfer_step=f"Transfer {b_side} → {t_side} tuples",
+            copy_step=f"Local copy {b_side} → {t_side} tuples",
+            translate_step=(
+                f"Merge-join {b_side} → {t_side} keys, nodes ⇒ payloads "
+                "and partition by node"
+            ),
+        ).run(cluster, profile, work[b_side], pair_src, pair_dst, pair_key)
 
     # ---- Phase C: final local joins at every destination.
     def join_node(node: int) -> LocalPartition:
@@ -282,6 +296,16 @@ def _execute_schedules(
     return cluster.run_phase(join_node, profile=profile)
 
 
+def _locations(spec: JoinSpec, key_width: float, step: str) -> LocationExchange:
+    """The (key, node) instruction exchange under this join's encodings."""
+    return LocationExchange(
+        step=step,
+        key_width=key_width,
+        location_width=spec.location_width,
+        group_by_node=spec.group_locations,
+    )
+
+
 def _run_migrations(
     cluster: Cluster,
     spec: JoinSpec,
@@ -309,237 +333,13 @@ def _run_migrations(
     # them ("Tran. R -> S keys, nodes" when S consolidates, since those
     # messages enable the R -> S broadcast, and vice versa).
     other = "R" if side == "S" else "S"
-    step = f"Tran. {other} → {side} keys, nodes"
-    _account_pair_messages(
-        cluster, spec, profile, step, mig_t, mig_nodes, mig_dest, key_width
+    _locations(spec, key_width, f"Tran. {other} → {side} keys, nodes").run(
+        cluster, profile, mig_t, mig_nodes, mig_dest
     )
 
-    category = MessageClass.R_TUPLES if side == "R" else MessageClass.S_TUPLES
-    transfer_step = f"{side} tuples ({side} migration)"
-    if fused_enabled():
-        # One radix sort splits the migrating entries by holder instead
-        # of one boolean scan per distinct holder; stability keeps each
-        # holder's entries in the identical order.
-        order = stable_argsort_bounded(mig_nodes, cluster.num_nodes)
-        bounds = np.searchsorted(mig_nodes[order], np.arange(cluster.num_nodes + 1))
-        node_groups = [
-            (node, order[bounds[node] : bounds[node + 1]])
-            for node in range(cluster.num_nodes)
-            if bounds[node + 1] > bounds[node]
-        ]
-    else:
-        node_groups = [
-            (node, np.flatnonzero(mig_nodes == node)) for node in np.unique(mig_nodes)
-        ]
-    def migrate_holder(group: int) -> None:
-        node, rows_sel = node_groups[group]
-        keys_here = mig_keys[rows_sel]
-        dest_here = mig_dest[rows_sel]
-        local = work[side][node]
-        right_partition = (
-            local if fused_enabled() and local.num_rows else None
-        )
-        pair_pos, rows = join_indices(
-            keys_here, local.keys, right_partition=right_partition
-        )
-        if len(rows) == 0:
-            return
-        destinations = dest_here[pair_pos]
-        keep = np.ones(local.num_rows, dtype=bool)
-        keep[rows] = False
-        batches = local.split_by(destinations, cluster.num_nodes, rows=rows)
-        work[side][node] = local.take(np.flatnonzero(keep))
-        for dst, batch in enumerate(batches):
-            if batch is None:
-                continue
-            nbytes = batch.num_rows * widths[side]
-            cluster.network.send(int(node), dst, category, nbytes, payload=batch)
-            if int(node) == dst:  # pragma: no cover - migrations never self-send
-                profile.add_local(f"Local copy {transfer_step}", int(node), nbytes)
-            else:
-                profile.add_net_at(
-                    f"Transfer {side} → {other} tuples", int(node), nbytes
-                )
-
-    cluster.run_phase(migrate_holder, tasks=len(node_groups), profile=profile)
-
-
-def _apply_received_tuples(cluster: Cluster, work: dict[str, list[LocalPartition]]) -> None:
-    """Barrier after migration: append received tuples to local fragments."""
-
-    def absorb(node: int) -> None:
-        extra: dict[str, list[LocalPartition]] = {"R": [], "S": []}
-        for msg in cluster.network.deliver(node):
-            if msg.category is MessageClass.R_TUPLES:
-                extra["R"].append(msg.payload)
-            elif msg.category is MessageClass.S_TUPLES:
-                extra["S"].append(msg.payload)
-        for side in ("R", "S"):
-            if extra[side]:
-                work[side][node] = LocalPartition.concat([work[side][node]] + extra[side])
-
-    cluster.run_phase(absorb)
-
-
-def _account_pair_messages(
-    cluster: Cluster,
-    spec: JoinSpec,
-    profile: ExecutionProfile,
-    step: str,
-    senders: np.ndarray,
-    receivers: np.ndarray,
-    node_values: np.ndarray,
-    key_width: float,
-) -> None:
-    """Account (key, node) messages grouped by (sender, receiver) link.
-
-    Messages whose sender is the receiving node itself are free (the
-    scheduler addressing a local holder), which is the ``i != self``
-    exclusion in the paper's cost routines.
-    """
-    if len(senders) == 0:
-        return
-    n = cluster.num_nodes
-    if fused_enabled() and n * n * n <= (1 << 20):
-        # The (sender, receiver, value) triple domain is tiny: count
-        # every triple with one bincount pass and read link totals and
-        # per-link distinct values straight off the table — no sort.
-        composite = (senders * n + receivers) * n + node_values
-        triple_counts = np.bincount(composite, minlength=n * n * n).reshape(n * n, n)
-        link_counts = triple_counts.sum(axis=1)
-        link_distinct = np.count_nonzero(triple_counts, axis=1)
-        links = np.flatnonzero(link_counts)
-        counts = link_counts[links]
-        distinct_counts = link_distinct[links]
-        group_src = links // n
-        group_dst = links % n
-    elif fused_enabled() and n * n * n <= (1 << 62):
-        # Grouped distinct counting in one pass: sort the packed
-        # (sender, receiver, value) triple, find link-group boundaries,
-        # and count value changes per group — no per-group np.unique.
-        composite = (senders * n + receivers) * n + node_values
-        if n * n * n <= (1 << 16):
-            order = np.argsort(composite.astype(np.uint16), kind="stable")
-        else:
-            order = np.argsort(composite, kind="stable")
-        c_sorted = composite[order]
-        link = c_sorted // n
-        change = np.empty(len(order), dtype=bool)
-        change[0] = True
-        np.not_equal(link[1:], link[:-1], out=change[1:])
-        starts = np.flatnonzero(change)
-        counts = np.diff(np.append(starts, len(order)))
-        value_change = np.empty(len(order), dtype=bool)
-        value_change[0] = True
-        np.not_equal(c_sorted[1:], c_sorted[:-1], out=value_change[1:])
-        # Per-group change totals via one cumsum pass (reduceat walks
-        # element-by-element; there are only ~n^2 groups).
-        cumulative = np.cumsum(value_change)
-        ends = np.append(starts[1:], len(order))
-        distinct_counts = cumulative[ends - 1] - cumulative[starts] + 1
-        group_src = link[starts] // n
-        group_dst = link[starts] % n
-    else:
-        order = np.lexsort((node_values, receivers, senders))
-        s_sorted = senders[order]
-        r_sorted = receivers[order]
-        v_sorted = node_values[order]
-        change = np.empty(len(order), dtype=bool)
-        change[0] = True
-        np.logical_or(
-            s_sorted[1:] != s_sorted[:-1], r_sorted[1:] != r_sorted[:-1], out=change[1:]
-        )
-        starts = np.flatnonzero(change)
-        counts = np.diff(np.append(starts, len(order)))
-        distinct_counts = np.array(
-            [
-                len(np.unique(v_sorted[start : start + count]))
-                for start, count in zip(starts, counts)
-            ],
-            dtype=np.int64,
-        )
-        group_src = s_sorted[starts]
-        group_dst = r_sorted[starts]
-    for src, dst, group_count, distinct in zip(
-        group_src, group_dst, counts, distinct_counts
-    ):
-        src = int(src)
-        dst = int(dst)
-        nbytes = location_message_bytes(
-            int(group_count),
-            int(distinct),
-            key_width,
-            spec.location_width,
-            group_by_node=spec.group_locations,
-        )
-        cluster.network.send(src, dst, MessageClass.KEYS_NODES, nbytes, payload=None)
-        if src == dst:
-            profile.add_local("Local copy keys, nodes", src, nbytes)
-        else:
-            profile.add_net_at(step, src, nbytes)
-        # Receivers merge the incoming pair lists before acting on them.
-        profile.add_cpu_at("Merge rec. keys, nodes", "merge", dst, nbytes)
-
-
-def _broadcast_tuples(
-    cluster: Cluster,
-    spec: JoinSpec,
-    profile: ExecutionProfile,
-    work: dict[str, list[LocalPartition]],
-    b_side: str,
-    t_side: str,
-    pair_src: np.ndarray,
-    pair_dst: np.ndarray,
-    pair_key: np.ndarray,
-    widths: dict[str, float],
-    key_width: float,
-    categories: dict[str, MessageClass],
-) -> None:
-    """Each broadcast-side holder ships matching tuples per location pair."""
-    num_nodes = cluster.num_nodes
-    if fused_enabled():
-        order = stable_argsort_bounded(pair_src, num_nodes)
-    else:
-        order = np.argsort(pair_src, kind="stable")
-    bounds = np.searchsorted(pair_src[order], np.arange(num_nodes + 1))
-    width = widths[b_side]
-    step = f"Transfer {b_side} → {t_side} tuples"
-    copy_step = f"Local copy {b_side} → {t_side} tuples"
-    translate_step = (
-        f"Merge-join {b_side} → {t_side} keys, nodes ⇒ payloads "
-        "and partition by node"
-    )
-    def broadcast_holder(src: int) -> None:
-        rows = order[bounds[src] : bounds[src + 1]]
-        if len(rows) == 0:
-            return
-        keys_here = pair_key[rows]
-        dst_here = pair_dst[rows]
-        local = work[b_side][src]
-        right_partition = (
-            local if fused_enabled() and local.num_rows else None
-        )
-        pair_pos, local_rows = join_indices(
-            keys_here, local.keys, right_partition=right_partition
-        )
-        profile.add_cpu_at(
-            translate_step,
-            "merge",
-            src,
-            len(rows) * (key_width + spec.location_width) + len(local_rows) * width,
-        )
-        if len(local_rows) == 0:
-            return
-        # One gather routes the matched tuples straight to their
-        # destination slices — no per-destination take() copies and no
-        # intermediate full materialization of the matched batch.
-        destinations = dst_here[pair_pos]
-        batches = local.split_by(destinations, num_nodes, rows=local_rows)
-        sent = cluster.network.send_batches(src, categories[b_side], batches, width)
-        for dst, nbytes in sent:
-            if src == dst:
-                profile.add_local(copy_step, src, nbytes)
-            else:
-                profile.add_net_at(step, src, nbytes)
-
-    cluster.run_phase(broadcast_holder, profile=profile)
+    Migrate(
+        category=MessageClass.R_TUPLES if side == "R" else MessageClass.S_TUPLES,
+        width=widths[side],
+        transfer_step=f"Transfer {side} → {other} tuples",
+        copy_step=f"Local copy {side} tuples ({side} migration)",
+    ).run(cluster, profile, work[side], mig_keys, mig_nodes, mig_dest)

@@ -18,15 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .formulas import (
-    CorrelationClasses,
-    broadcast_cost,
-    hash_join_cost,
-    track2_cost,
-    track3_cost,
-    track4_cost,
-    track_join_beats_hash_join_width_rule,
-)
+from ..joins.registry import ALGORITHMS
+from .formulas import CorrelationClasses, track_join_beats_hash_join_width_rule
 from .stats import JoinStats
 
 __all__ = ["AlgorithmEstimate", "rank_algorithms", "choose_algorithm"]
@@ -47,15 +40,16 @@ class AlgorithmEstimate:
 def rank_algorithms(
     stats: JoinStats, classes: CorrelationClasses | None = None
 ) -> list[AlgorithmEstimate]:
-    """All algorithms ordered by estimated network bytes, cheapest first."""
+    """All algorithms ordered by estimated network bytes, cheapest first.
+
+    Candidates come from the operator registry
+    (:data:`repro.joins.registry.ALGORITHMS`); registry order is the
+    tie-break of the stable sort.
+    """
     estimates = [
-        AlgorithmEstimate("BJ-R", broadcast_cost(stats, "R")),
-        AlgorithmEstimate("BJ-S", broadcast_cost(stats, "S")),
-        AlgorithmEstimate("HJ", hash_join_cost(stats)),
-        AlgorithmEstimate("2TJ-R", track2_cost(stats, "RS")),
-        AlgorithmEstimate("2TJ-S", track2_cost(stats, "SR")),
-        AlgorithmEstimate("3TJ", track3_cost(stats, classes)),
-        AlgorithmEstimate("4TJ", track4_cost(stats, classes)),
+        AlgorithmEstimate(info.name, info.cost(stats, classes))
+        for info in ALGORITHMS
+        if info.cost is not None
     ]
     return sorted(estimates, key=lambda e: e.cost_bytes)
 

@@ -1,0 +1,104 @@
+"""Migrate: consolidation moves of the 4-phase track join (Section 2.5).
+
+Holders told to consolidate extract their matching tuples, ship them to
+the designated destination, and keep the rest; the moved tuples join
+the destination's local fragment at the next barrier
+(:func:`repro.exchange.gather.absorb_received`), shrinking the set of
+locations the subsequent selective broadcast must reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import MutableSequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.network import MessageClass
+from ..fastpath import fused_enabled
+from ..joins.local import join_indices
+from ..storage.table import LocalPartition
+from ..timing.profile import ExecutionProfile
+from ..util import stable_argsort_bounded
+from .base import send_split
+
+__all__ = ["Migrate"]
+
+
+@dataclass
+class Migrate:
+    """Move each holder's matching tuples to their consolidation target.
+
+    Parameters
+    ----------
+    category:
+        Message class of the migrated tuples.
+    width:
+        Wire bytes per migrated tuple.
+    transfer_step / copy_step:
+        Profile attribution of remote moves and (theoretical)
+        self-moves; schedules never consolidate a key onto a node it
+        already occupies, so ``copy_step`` stays empty in practice.
+    """
+
+    category: MessageClass
+    width: float
+    transfer_step: str
+    copy_step: str
+
+    def run(
+        self,
+        cluster: Cluster,
+        profile: ExecutionProfile,
+        holders: MutableSequence[LocalPartition],
+        keys: np.ndarray,
+        nodes: np.ndarray,
+        dests: np.ndarray,
+    ) -> None:
+        """One phase: each instructed holder extracts, keeps, and sends.
+
+        ``keys``/``nodes``/``dests`` are parallel migration-instruction
+        arrays: move the tuples of ``keys[i]`` held at ``nodes[i]`` to
+        ``dests[i]``.  ``holders`` is mutated in place — each migrating
+        node's entry is replaced by its kept remainder; arrivals are
+        absorbed later at the consolidation barrier.
+        """
+        if fused_enabled():
+            # One radix sort splits the instructions by holder instead
+            # of one boolean scan per distinct holder; stability keeps
+            # each holder's instructions in the identical order.
+            order = stable_argsort_bounded(nodes, cluster.num_nodes)
+            bounds = np.searchsorted(nodes[order], np.arange(cluster.num_nodes + 1))
+            node_groups = [
+                (node, order[bounds[node] : bounds[node + 1]])
+                for node in range(cluster.num_nodes)
+                if bounds[node + 1] > bounds[node]
+            ]
+        else:
+            node_groups = [
+                (int(node), np.flatnonzero(nodes == node)) for node in np.unique(nodes)
+            ]
+
+        def migrate_holder(group: int) -> None:
+            node, rows_sel = node_groups[group]
+            keys_here = keys[rows_sel]
+            dest_here = dests[rows_sel]
+            local = holders[node]
+            right_partition = local if fused_enabled() and local.num_rows else None
+            pair_pos, rows = join_indices(
+                keys_here, local.keys, right_partition=right_partition
+            )
+            if len(rows) == 0:
+                return
+            destinations = dest_here[pair_pos]
+            keep = np.ones(local.num_rows, dtype=bool)
+            keep[rows] = False
+            batches = local.split_by(destinations, cluster.num_nodes, rows=rows)
+            holders[node] = local.take(np.flatnonzero(keep))
+            send_split(
+                cluster, profile, self.category, int(node), batches, self.width,
+                self.transfer_step, self.copy_step,
+            )
+
+        cluster.run_phase(migrate_holder, tasks=len(node_groups), profile=profile)

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.track_join import TrackJoin2, TrackJoin3, TrackJoin4
 from ..joins.base import JoinSpec
-from ..joins.grace_hash import GraceHashJoin
+from ..joins.registry import ALGORITHMS, create
 from ..timing.hardware import HardwareModel, paper_cluster_2014, scaled_network
 from ..workloads.base import Workload
 from ..workloads.real import workload_x, workload_y
@@ -61,7 +60,7 @@ def run_table1(scale_denominator: int = 512, seed: int = 0) -> ExperimentResult:
         result.groups.append(group)
     out_group = Group(label="join output")
     spec = JoinSpec(materialize=False)
-    joined = GraceHashJoin().run(workload.cluster, workload.table_r, workload.table_s, spec)
+    joined = create("HJ").run(workload.cluster, workload.table_r, workload.table_s, spec)
     out_group.rows.append(
         Row(
             "output tuples",
@@ -116,11 +115,12 @@ def run_table2(
         notes="Profiles from scaled runs, converted by the calibrated hardware "
         "model and scaled to paper cardinality.",
     )
+    # The implementation study measures the registry entries carrying a
+    # paper table label, under that label, in registry order.
     algorithms = {
-        "HJ": GraceHashJoin,
-        "2TJ": lambda: TrackJoin2("RS"),
-        "3TJ": TrackJoin3,
-        "4TJ": TrackJoin4,
+        info.paper_label: info.factory
+        for info in ALGORITHMS
+        if info.paper_label is not None
     }
     for workload_name, ordering, workload, spec in _timing_workloads(scale_x, scale_y, seed):
         group = Group(label=f"{workload_name} {ordering}")
@@ -206,7 +206,7 @@ def run_table3(
     return _step_table(
         "table3",
         "Distributed hash join steps",
-        GraceHashJoin,
+        lambda: create("HJ"),
         paperdata.TABLE3,
         {"Local copy tuples": ("Local copy R tuples", "Local copy S tuples")},
         scale_x,
@@ -226,7 +226,7 @@ def run_table4(
     return _step_table(
         "table4",
         "Track join (4-phase) steps",
-        TrackJoin4,
+        lambda: create("4TJ"),
         paperdata.TABLE4,
         {},
         scale_x,

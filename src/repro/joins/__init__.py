@@ -4,6 +4,7 @@ from .base import DistributedJoin, JoinResult, JoinSpec
 from .broadcast import BroadcastJoin
 from .grace_hash import GraceHashJoin
 from .local import distinct_with_counts, join_indices, local_join, match_mask
+from .registry import ALGORITHMS, AlgorithmInfo, algorithm, algorithm_names, create
 from .semijoin import SemiJoinFilteredJoin
 from .tracking_aware import LateMaterializationHashJoin, TrackingAwareHashJoin, rid_width
 
@@ -11,6 +12,11 @@ __all__ = [
     "DistributedJoin",
     "JoinResult",
     "JoinSpec",
+    "ALGORITHMS",
+    "AlgorithmInfo",
+    "algorithm",
+    "algorithm_names",
+    "create",
     "BroadcastJoin",
     "GraceHashJoin",
     "SemiJoinFilteredJoin",

@@ -167,41 +167,8 @@ class DistributedJoin(abc.ABC):
         When ``spec.materialize`` is False implementations may return
         key-only partitions (payload columns dropped) — the row counts
         are still exact.
+
+        Communication happens through the exchange operators
+        (:mod:`repro.exchange`), which carry the send-lane staging, byte
+        accounting, and profile attribution shared by every algorithm.
         """
-
-    # -- shared helpers -------------------------------------------------
-
-    @staticmethod
-    def _send_rows(
-        cluster: Cluster,
-        profile: ExecutionProfile,
-        step_name: str,
-        category: MessageClass,
-        src: int,
-        dst: int,
-        rows: LocalPartition,
-        tuple_width: float,
-    ) -> None:
-        """Ship a batch of tuples, accounting wire size and profile work."""
-        nbytes = rows.num_rows * tuple_width
-        cluster.network.send(src, dst, category, nbytes, payload=rows)
-        if src == dst:
-            profile.add_local(f"Local copy {step_name}", src, nbytes)
-        else:
-            profile.add_net_at(f"Transfer {step_name}", src, nbytes)
-
-    @staticmethod
-    def _received_rows(
-        cluster: Cluster, dst: int, category: MessageClass
-    ) -> list[LocalPartition]:
-        """Drain node ``dst``'s inbox, keeping payloads of one category."""
-        kept = []
-        requeue = []
-        for msg in cluster.network.deliver(dst):
-            if msg.category == category:
-                kept.append(msg.payload)
-            else:
-                requeue.append(msg)
-        if requeue:  # pragma: no cover - joins drain homogeneously
-            cluster.network.requeue(dst, requeue)
-        return kept

@@ -12,6 +12,8 @@ from __future__ import annotations
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
 from ..errors import ValidationError
+from ..exchange.broadcast import Broadcast
+from ..exchange.gather import drain_category
 from ..fastpath import fused_enabled
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
@@ -47,20 +49,7 @@ class BroadcastJoin(DistributedJoin):
             category = MessageClass.S_TUPLES
             step = "S tuples"
         width = moving.schema.tuple_width(spec.encoding)
-
-        def scatter(src: int) -> None:
-            fragment = moving.partitions[src]
-            profile.add_cpu_at(
-                f"Scan local {step}", "partition", src, fragment.num_rows * width
-            )
-            for dst in range(cluster.num_nodes):
-                if dst == src:
-                    continue
-                self._send_rows(
-                    cluster, profile, step, category, src, dst, fragment, width
-                )
-
-        cluster.run_phase(scatter, profile=profile)
+        Broadcast(category, width, step).scatter(cluster, profile, moving.partitions)
 
         # On the fused path every node joins the same broadcast multiset,
         # so the full table (and, via local_join, its key index) is
@@ -77,7 +66,7 @@ class BroadcastJoin(DistributedJoin):
             shared_moving.key_index()
 
         def join_node(node: int) -> LocalPartition:
-            received = self._received_rows(cluster, node, category)
+            received = drain_category(cluster, node, category)
             if shared_moving is not None:
                 full_moving = shared_moving
             else:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..exchange.shuffle import Shuffle
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
 from .base import DistributedJoin, JoinSpec
@@ -85,28 +86,7 @@ class GraceHashJoin(DistributedJoin):
     ) -> list[LocalPartition]:
         """Hash-partition one table; returns the received fragments per node."""
         width = table.schema.tuple_width(spec.encoding)
-
-        def scatter(src: int) -> None:
-            fragment = table.partitions[src]
-            profile.add_cpu_at(
-                f"Hash partition {step}", "partition", src, fragment.num_rows * width
-            )
-            batches = fragment.hash_split(cluster.num_nodes, spec.hash_seed)
-            for dst, batch in enumerate(batches):
-                if batch is None:
-                    continue
-                self._send_rows(
-                    cluster, profile, step, category, src, dst, batch, width
-                )
-
-        cluster.run_phase(scatter, profile=profile)
-
-        def gather(node: int) -> LocalPartition:
-            parts = self._received_rows(cluster, node, category)
-            return (
-                LocalPartition.concat(parts)
-                if parts
-                else LocalPartition.empty(table.payload_names)
-            )
-
-        return cluster.run_phase(gather, profile=profile)
+        shuffle = Shuffle(category, width, step, hash_seed=spec.hash_seed)
+        return shuffle.run(
+            cluster, profile, table.partitions, empty_names=table.payload_names
+        )

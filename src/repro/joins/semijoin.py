@@ -20,6 +20,8 @@ import numpy as np
 from ..bloom.filter import BloomFilter
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
+from ..exchange.broadcast import replicate_size
+from ..exchange.gather import flush
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
 from .base import DistributedJoin, JoinSpec
@@ -78,15 +80,11 @@ class SemiJoinFilteredJoin(DistributedJoin):
             profile.add_cpu_at(
                 f"Build {side} filter", "aggregate", node, partition.num_rows * 8.0
             )
-            for dst in range(cluster.num_nodes):
-                if dst == node:
-                    continue
-                cluster.network.send(
-                    node, dst, MessageClass.FILTER, bloom.wire_bytes, payload=None
-                )
-                profile.add_net_at(f"Broadcast {side} filters", node, bloom.wire_bytes)
-        for _node, _messages in cluster.network.deliver_all():
-            pass
+            replicate_size(
+                cluster, profile, MessageClass.FILTER, node, bloom.wire_bytes,
+                f"Broadcast {side} filters",
+            )
+        flush(cluster)
         return filters
 
     def _filtered(

@@ -25,10 +25,11 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass
-from ..fastpath import fused_enabled
+from ..exchange.base import send_rows
+from ..exchange.gather import flush
+from ..exchange.shuffle import KeyShuffle
 from ..storage.table import DistributedTable, LocalPartition
 from ..timing.profile import ExecutionProfile
-from ..util import hash_partition
 from .base import DistributedJoin, JoinSpec
 from .local import join_indices
 
@@ -54,59 +55,8 @@ def _scatter_keys(
     wire — rids are implicit in message origin and order.
     """
     key_width = table.schema.key_width(spec.encoding)
-
-    def scatter(src: int) -> None:
-        partition = table.partitions[src]
-        profile.add_cpu_at(
-            f"Hash partition {side} keys", "partition", src, partition.num_rows * key_width
-        )
-        if partition.num_rows == 0:
-            return
-        if fused_enabled():
-            plan = partition.hash_scatter_plan(cluster.num_nodes, spec.hash_seed)
-            order, bounds = plan.order, plan.bounds
-            gathered_keys = partition.keys[order]
-        else:
-            destinations = hash_partition(
-                partition.keys, cluster.num_nodes, spec.hash_seed
-            )
-            order = np.argsort(destinations, kind="stable")
-            bounds = np.searchsorted(
-                destinations[order], np.arange(cluster.num_nodes + 1)
-            )
-            gathered_keys = None
-        for dst in range(cluster.num_nodes):
-            lo, hi = bounds[dst], bounds[dst + 1]
-            rows = order[lo:hi]
-            if len(rows) == 0:
-                continue
-            payload = LocalPartition(
-                keys=(
-                    gathered_keys[lo:hi]
-                    if gathered_keys is not None
-                    else partition.keys[rows]
-                ),
-                columns={
-                    "node": np.full(len(rows), src, dtype=np.int64),
-                    "pos": rows.astype(np.int64),
-                },
-            )
-            nbytes = len(rows) * key_width
-            cluster.network.send(src, dst, MessageClass.RIDS, nbytes, payload=payload)
-            if src == dst:
-                profile.add_local(f"Local copy {side} keys", src, nbytes)
-            else:
-                profile.add_net_at(f"Transfer {side} keys", src, nbytes)
-
-    cluster.run_phase(scatter, profile=profile)
-
-    def gather(node: int) -> LocalPartition:
-        parts = [m.payload for m in cluster.network.deliver(node)]
-        return (
-            LocalPartition.concat(parts) if parts else LocalPartition.empty(("node", "pos"))
-        )
-
-    return cluster.run_phase(gather, profile=profile)
+    shuffle = KeyShuffle(key_width, f"{side} keys", hash_seed=spec.hash_seed)
+    return shuffle.run(cluster, profile, table.partitions)
 
 
 def _rid_pairs(
@@ -206,8 +156,7 @@ class LateMaterializationHashJoin(DistributedJoin):
         output = cluster.run_phase(fetch_node, profile=profile)
         # Request/response messages carry no payloads; drain them at the
         # phase barrier (the serial loop drained per node as it went).
-        for _n, _m in cluster.network.deliver_all():
-            pass
+        flush(cluster)
         return output
 
 
@@ -294,8 +243,7 @@ class TrackingAwareHashJoin(DistributedJoin):
                 send_jobs.setdefault(src, []).append((t_node, positions, destinations))
             for dst, positions in wides:
                 wide_rows.setdefault(dst, []).append(positions)
-        for _n, _m in cluster.network.deliver_all():
-            pass
+        flush(cluster)
 
         # Narrow nodes ship (key + narrow payload) to each destination.
         # Each job's destination split is computed once (a single fused
@@ -322,14 +270,11 @@ class TrackingAwareHashJoin(DistributedJoin):
         ):
             job_batches.extend(batches_here)
         for src, dst, batch in job_batches:
-            nbytes = batch.num_rows * narrow_width
-            cluster.network.send(src, dst, narrow_category, nbytes, payload=batch)
-            if src == dst:
-                profile.add_local("Local copy narrow tuples", src, nbytes)
-            else:
-                profile.add_net_at("Transfer narrow tuples", src, nbytes)
-        for _n, _m in cluster.network.deliver_all():
-            pass
+            send_rows(
+                cluster, profile, narrow_category, src, dst, batch, narrow_width,
+                "Transfer narrow tuples", "Local copy narrow tuples",
+            )
+        flush(cluster)
         arrivals: dict[int, list[LocalPartition]] = {}
         for _src, dst, batch in job_batches:
             arrivals.setdefault(dst, []).append(batch)

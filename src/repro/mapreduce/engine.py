@@ -30,6 +30,8 @@ import numpy as np
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass, TrafficLedger
 from ..errors import ValidationError
+from ..exchange.base import send_split
+from ..exchange.gather import drain_payloads
 from ..storage.table import LocalPartition
 from ..timing.profile import ExecutionProfile
 from ..util import hash_partition
@@ -156,17 +158,12 @@ class MapReduceJob:
                         f"{len(destinations)} destinations for {mapped.num_rows} records"
                     )
             batches = mapped.split_by(destinations, cluster.num_nodes)
-            for dst, batch in enumerate(batches):
-                if batch is None:
-                    continue
-                nbytes = batch.num_rows * channel.record_width
-                cluster.network.send(
-                    node, dst, channel.category, nbytes, payload=(channel.name, batch)
-                )
-                if node == dst:
-                    profile.add_local(f"Local copy {channel.name}", node, nbytes)
-                else:
-                    profile.add_net_at(f"Shuffle {channel.name}", node, nbytes)
+            send_split(
+                cluster, profile, channel.category, node, batches,
+                channel.record_width,
+                f"Shuffle {channel.name}", f"Local copy {channel.name}",
+                payload_of=lambda batch: (channel.name, batch),
+            )
 
         cluster.run_phase(map_node, profile=profile)
 
@@ -233,22 +230,17 @@ class MapReduceJob:
             batches = outputs[node].split_by(
                 destinations, cluster.num_nodes, rows=record_idx
             )
-            for dst, batch in enumerate(batches):
-                if batch is None:
-                    continue
-                nbytes = batch.num_rows * self.output_width
-                cluster.network.send(
-                    node, dst, self.output_category, nbytes, payload=("__out__", batch)
-                )
-                if node == dst:
-                    profile.add_local("Local copy routed output", node, nbytes)
-                else:
-                    profile.add_net_at("Route reduce output", node, nbytes)
+            send_split(
+                cluster, profile, self.output_category, node, batches,
+                self.output_width,
+                "Route reduce output", "Local copy routed output",
+                payload_of=lambda batch: ("__out__", batch),
+            )
 
         cluster.run_phase(route_node, profile=profile)
 
         def collect_node(node: int) -> LocalPartition:
-            batches = [message.payload[1] for message in cluster.network.deliver(node)]
+            batches = [payload[1] for payload in drain_payloads(cluster, node)]
             return LocalPartition.concat(batches) if batches else LocalPartition.empty()
 
         return cluster.run_phase(collect_node, profile=profile)

@@ -1,7 +1,15 @@
 """Query plans over distributed tables: scans, joins, aggregation."""
 
 from .aggregate import AggregateSpec, AggregationResult, run_aggregation
-from .executor import OperatorStats, QueryResult, execute, rekey_table, table_stats
+from .executor import (
+    OperatorStats,
+    PhysicalPlan,
+    QueryResult,
+    compile_plan,
+    execute,
+    rekey_table,
+    table_stats,
+)
 from .plan import Aggregate, Join, PlanNode, Rekey, Scan
 from .predicates import And, ColumnPredicate, Or, Predicate
 from .starplan import star_plan
@@ -15,6 +23,8 @@ __all__ = [
     "rekey_table",
     "PlanNode",
     "execute",
+    "compile_plan",
+    "PhysicalPlan",
     "QueryResult",
     "OperatorStats",
     "table_stats",

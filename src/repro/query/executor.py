@@ -1,45 +1,56 @@
-"""Query plan execution over the simulated cluster.
+"""Query execution: logical plans compiled to a physical-operator pipeline.
 
-Walks a :mod:`repro.query.plan` tree bottom-up: scans filter locally,
-joins run one of the distributed operators (picked by the Section 3
-cost model when ``algorithm="auto"``), and aggregation finishes with
-the two-phase group-by.  Intermediate results stay distributed; the
-executor threads traffic ledgers through so the returned
-:class:`QueryResult` accounts every byte of the whole query.
+Execution happens in two stages.  :func:`compile_plan` linearizes a
+:mod:`repro.query.plan` tree into a :class:`PhysicalPlan` — a post-order
+list of physical operators wired by input indices.  The plan then runs
+as a pipeline: every operator goes through an explicit lifecycle of
+
+- ``plan``    — pre-execution decisions: algorithm choice via the
+  Section 3 cost model (with per-operator statistics caching) for
+  ``algorithm="auto"`` joins;
+- ``execute`` — produce the operator's distributed output table
+  (joins construct their operator through the registry,
+  :mod:`repro.joins.registry`);
+- ``account`` — fold the operator's traffic into the query ledger and
+  record its :class:`OperatorStats` row.
+
+Intermediate results stay distributed, and the returned
+:class:`QueryResult` accounts every byte of the whole query.  The
+split lifecycle is what plan-level features hang off: operator
+statistics are cached on the run context, ``Rekey``-into-``Join``
+fusion is a compile-time rewrite (``fuse_rekey=True``), and a future
+adaptive re-choice can re-enter ``plan`` mid-pipeline.
 """
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..cluster.network import TrafficLedger
-from ..core.track_join import TrackJoin2, TrackJoin3, TrackJoin4
 from ..costmodel.optimizer import choose_algorithm
 from ..costmodel.stats import JoinStats
 from ..errors import ReproError
-from ..joins.base import DistributedJoin, JoinResult, JoinSpec
-from ..joins.broadcast import BroadcastJoin
-from ..joins.grace_hash import GraceHashJoin
+from ..joins.base import JoinResult, JoinSpec
+from ..joins.registry import algorithm_names, create
 from ..joins.semijoin import SemiJoinFilteredJoin
 from ..storage.schema import Column, Schema
 from ..storage.table import DistributedTable, LocalPartition
 from .aggregate import run_aggregation
 from .plan import Aggregate, Join, PlanNode, Rekey, Scan
 
-__all__ = ["QueryResult", "OperatorStats", "execute", "table_stats", "rekey_table"]
-
-_ALGORITHMS: dict[str, callable] = {
-    "HJ": GraceHashJoin,
-    "BJ-R": lambda: BroadcastJoin("R"),
-    "BJ-S": lambda: BroadcastJoin("S"),
-    "2TJ-R": lambda: TrackJoin2("RS"),
-    "2TJ-S": lambda: TrackJoin2("SR"),
-    "3TJ": TrackJoin3,
-    "4TJ": TrackJoin4,
-}
+__all__ = [
+    "QueryResult",
+    "OperatorStats",
+    "PhysicalPlan",
+    "compile_plan",
+    "execute",
+    "table_stats",
+    "rekey_table",
+]
 
 
 @dataclass
@@ -204,91 +215,282 @@ def rekey_table(table: DistributedTable, column: str) -> DistributedTable:
     return DistributedTable(f"rekey({table.name},{column})", schema, partitions)
 
 
-def _execute_scan(node: Scan, cluster: Cluster) -> tuple[DistributedTable, OperatorStats]:
-    cluster.check_table(node.table)
-    if node.predicate is None:
-        stats = OperatorStats("scan", node.table.total_rows, 0.0)
-        return node.table, stats
-    partitions = [
-        partition.take(node.predicate.mask(partition))
-        for partition in node.table.partitions
-    ]
-    filtered = DistributedTable(f"σ({node.table.name})", node.table.schema, partitions)
-    kept = filtered.total_rows
-    selectivity = kept / node.table.total_rows if node.table.total_rows else 0.0
-    stats = OperatorStats(
-        "scan+filter", kept, 0.0, note=f"selectivity {selectivity:.3f}"
+# ---------------------------------------------------------------------------
+# Physical operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionContext:
+    """Per-run state threaded through the operator lifecycle."""
+
+    cluster: Cluster
+    spec: JoinSpec
+    #: Output table of each executed operator, by operator index.
+    tables: dict[int, DistributedTable] = field(default_factory=dict)
+    #: Query-wide ledger; each operator folds its traffic in at account.
+    traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    #: OperatorStats rows in execution (post-)order.
+    operators: list[OperatorStats] = field(default_factory=list)
+    #: Cached join statistics by operator index, so a re-entered plan
+    #: step (or a future adaptive re-choice) never re-measures.
+    join_stats: dict[int, JoinStats] = field(default_factory=dict)
+
+
+class PhysicalOperator(abc.ABC):
+    """One pipeline stage with a plan → execute → account lifecycle."""
+
+    def __init__(self, index: int, inputs: tuple[int, ...]):
+        self.index = index
+        self.inputs = inputs
+
+    def plan(self, ctx: ExecutionContext) -> None:
+        """Pre-execution decisions; default operators have none."""
+
+    @abc.abstractmethod
+    def execute(self, ctx: ExecutionContext) -> None:
+        """Produce this operator's table into ``ctx.tables[self.index]``."""
+
+    @abc.abstractmethod
+    def account(self, ctx: ExecutionContext) -> None:
+        """Fold traffic and stats of the finished execution into ``ctx``."""
+
+
+class ScanOp(PhysicalOperator):
+    """Table scan with an optional node-local selection."""
+
+    def __init__(self, index: int, node: Scan):
+        super().__init__(index, ())
+        self.node = node
+        self._stats: OperatorStats | None = None
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        node = self.node
+        ctx.cluster.check_table(node.table)
+        if node.predicate is None:
+            ctx.tables[self.index] = node.table
+            self._stats = OperatorStats("scan", node.table.total_rows, 0.0)
+            return
+        partitions = [
+            partition.take(node.predicate.mask(partition))
+            for partition in node.table.partitions
+        ]
+        filtered = DistributedTable(
+            f"σ({node.table.name})", node.table.schema, partitions
+        )
+        kept = filtered.total_rows
+        selectivity = kept / node.table.total_rows if node.table.total_rows else 0.0
+        ctx.tables[self.index] = filtered
+        self._stats = OperatorStats(
+            "scan+filter", kept, 0.0, note=f"selectivity {selectivity:.3f}"
+        )
+
+    def account(self, ctx: ExecutionContext) -> None:
+        ctx.operators.append(self._stats)
+
+
+class JoinOp(PhysicalOperator):
+    """Distributed join; the algorithm resolves at plan time."""
+
+    def __init__(
+        self, index: int, inputs: tuple[int, int], node: Join,
+        rekey_on: str | None = None, fused_rekey: bool = False,
+    ):
+        super().__init__(index, inputs)
+        self.node = node
+        self.rekey_on = rekey_on if fused_rekey else node.rekey_on
+        self.fused_rekey = fused_rekey
+        self.algorithm: str | None = None
+        self._note = ""
+        self._operator_name = ""
+        self._result: JoinResult | None = None
+
+    def plan(self, ctx: ExecutionContext) -> None:
+        node = self.node
+        if node.algorithm == "auto":
+            stats = ctx.join_stats.get(self.index)
+            if stats is None:
+                left, right = (ctx.tables[i] for i in self.inputs)
+                stats = table_stats(left, right, ctx.spec)
+                ctx.join_stats[self.index] = stats
+            choice = choose_algorithm(stats)
+            self.algorithm = choice.algorithm
+            self._note = f"auto: {choice.algorithm}"
+            if choice.note:
+                self._note += f" ({choice.note})"
+        elif node.algorithm in algorithm_names():
+            self.algorithm = node.algorithm
+            self._note = "fixed"
+        else:
+            raise ReproError(
+                f"unknown join algorithm {node.algorithm!r}; "
+                f"use 'auto' or one of {sorted(algorithm_names())}"
+            )
+        if self.fused_rekey:
+            self._note += f"; fused rekey on {self.rekey_on}"
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        left, right = (ctx.tables[i] for i in self.inputs)
+        operator = create(self.algorithm)
+        if self.node.semijoin_filter:
+            operator = SemiJoinFilteredJoin(operator)
+        self._operator_name = operator.name
+        self._result = operator.run(ctx.cluster, left, right, ctx.spec)
+        ctx.tables[self.index] = _join_output_table(
+            self._result, left, right, self.rekey_on
+        )
+
+    def account(self, ctx: ExecutionContext) -> None:
+        ctx.traffic = ctx.traffic.merged_with(self._result.traffic)
+        ctx.operators.append(
+            OperatorStats(
+                f"join[{self._operator_name}]",
+                self._result.output_rows,
+                self._result.network_bytes,
+                note=self._note,
+            )
+        )
+
+
+class RekeyOp(PhysicalOperator):
+    """Node-local re-key of the input table on a payload column."""
+
+    def __init__(self, index: int, inputs: tuple[int], node: Rekey):
+        super().__init__(index, inputs)
+        self.node = node
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        ctx.tables[self.index] = rekey_table(
+            ctx.tables[self.inputs[0]], self.node.column
+        )
+
+    def account(self, ctx: ExecutionContext) -> None:
+        ctx.operators.append(
+            OperatorStats(
+                "rekey",
+                ctx.tables[self.index].total_rows,
+                0.0,
+                note=f"on {self.node.column}",
+            )
+        )
+
+
+class AggregateOp(PhysicalOperator):
+    """Two-phase distributed group-by over the input table."""
+
+    def __init__(self, index: int, inputs: tuple[int], node: Aggregate):
+        super().__init__(index, inputs)
+        self.node = node
+        self._result = None
+
+    def execute(self, ctx: ExecutionContext) -> None:
+        self._result = run_aggregation(
+            ctx.cluster, ctx.tables[self.inputs[0]], self.node.aggregates, ctx.spec
+        )
+        ctx.tables[self.index] = self._result.table
+
+    def account(self, ctx: ExecutionContext) -> None:
+        ctx.traffic = ctx.traffic.merged_with(self._result.traffic)
+        ctx.operators.append(
+            OperatorStats(
+                "aggregate",
+                self._result.table.total_rows,
+                self._result.network_bytes,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compilation and the pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled plan: physical operators in post-order."""
+
+    operators: list[PhysicalOperator]
+
+    def run(self, cluster: Cluster, spec: JoinSpec | None = None) -> QueryResult:
+        """Drive every operator through plan → execute → account."""
+        spec = spec or JoinSpec()
+        if not spec.materialize:
+            raise ReproError("query execution requires materialize=True")
+        ctx = ExecutionContext(cluster=cluster, spec=spec)
+        for operator in self.operators:
+            operator.plan(ctx)
+            operator.execute(ctx)
+            operator.account(ctx)
+        final = ctx.tables[self.operators[-1].index]
+        return QueryResult(table=final, traffic=ctx.traffic, operators=ctx.operators)
+
+
+def _fusable(node: PlanNode, fuse_rekey: bool) -> bool:
+    """A Rekey directly over a plain Join can fold into the join's output."""
+    return (
+        fuse_rekey
+        and isinstance(node, Rekey)
+        and isinstance(node.child, Join)
+        and node.child.rekey_on is None
     )
-    return filtered, stats
+
+
+def _children(node: PlanNode, fuse_rekey: bool) -> tuple[PlanNode, ...]:
+    if _fusable(node, fuse_rekey):
+        return (node.child.left, node.child.right)
+    if isinstance(node, Join):
+        return (node.left, node.right)
+    if isinstance(node, (Rekey, Aggregate)):
+        return (node.child,)
+    return ()
+
+
+def _make_operator(
+    node: PlanNode, index: int, inputs: tuple[int, ...], fuse_rekey: bool
+) -> PhysicalOperator:
+    if _fusable(node, fuse_rekey):
+        return JoinOp(index, inputs, node.child, rekey_on=node.column, fused_rekey=True)
+    if isinstance(node, Scan):
+        return ScanOp(index, node)
+    if isinstance(node, Join):
+        return JoinOp(index, inputs, node)
+    if isinstance(node, Rekey):
+        return RekeyOp(index, inputs, node)
+    if isinstance(node, Aggregate):
+        return AggregateOp(index, inputs, node)
+    raise ReproError(f"unknown plan node type: {type(node).__name__}")
+
+
+def compile_plan(plan: PlanNode, *, fuse_rekey: bool = False) -> PhysicalPlan:
+    """Linearize a logical plan tree into a physical pipeline.
+
+    The walk is iterative (an explicit frame stack, no recursion) and
+    emits operators in post-order: children left to right, then the
+    node itself, so execution order and accounting match a bottom-up
+    evaluation.  With ``fuse_rekey=True``, a ``Rekey`` sitting directly
+    on a ``Join`` folds into the join's output-packaging step, saving
+    one full pass over the joined partitions; the fused plan's result
+    table keeps the join's name (not ``rekey(...)``) and reports one
+    fewer operator.
+    """
+    operators: list[PhysicalOperator] = []
+    # Each frame: [node, collected child op indices, next child position].
+    frames: list[list] = [[plan, [], 0]]
+    while frames:
+        node, child_ids, pos = frames[-1]
+        kids = _children(node, fuse_rekey)
+        if pos < len(kids):
+            frames[-1][2] += 1
+            frames.append([kids[pos], [], 0])
+            continue
+        index = len(operators)
+        operators.append(_make_operator(node, index, tuple(child_ids), fuse_rekey))
+        frames.pop()
+        if frames:
+            frames[-1][1].append(index)
+    return PhysicalPlan(operators)
 
 
 def execute(plan: PlanNode, cluster: Cluster, spec: JoinSpec | None = None) -> QueryResult:
-    """Execute a plan tree and return the final table with accounting."""
-    spec = spec or JoinSpec()
-    if not spec.materialize:
-        raise ReproError("query execution requires materialize=True")
-
-    if isinstance(plan, Scan):
-        table, stats = _execute_scan(plan, cluster)
-        return QueryResult(table=table, traffic=TrafficLedger(), operators=[stats])
-
-    if isinstance(plan, Join):
-        left = execute(plan.left, cluster, spec)
-        right = execute(plan.right, cluster, spec)
-        if plan.algorithm == "auto":
-            stats = table_stats(left.table, right.table, spec)
-            choice = choose_algorithm(stats)
-            algorithm_name = choice.algorithm
-            note = f"auto: {choice.algorithm}"
-            if choice.note:
-                note += f" ({choice.note})"
-        elif plan.algorithm in _ALGORITHMS:
-            algorithm_name = plan.algorithm
-            note = "fixed"
-        else:
-            raise ReproError(
-                f"unknown join algorithm {plan.algorithm!r}; "
-                f"use 'auto' or one of {sorted(_ALGORITHMS)}"
-            )
-        operator: DistributedJoin = _ALGORITHMS[algorithm_name]()
-        if plan.semijoin_filter:
-            operator = SemiJoinFilteredJoin(operator)
-        result = operator.run(cluster, left.table, right.table, spec)
-        out_table = _join_output_table(result, left.table, right.table, plan.rekey_on)
-        traffic = left.traffic.merged_with(right.traffic).merged_with(result.traffic)
-        operators = (
-            left.operators
-            + right.operators
-            + [
-                OperatorStats(
-                    f"join[{operator.name}]",
-                    result.output_rows,
-                    result.network_bytes,
-                    note=note,
-                )
-            ]
-        )
-        return QueryResult(table=out_table, traffic=traffic, operators=operators)
-
-    if isinstance(plan, Rekey):
-        child = execute(plan.child, cluster, spec)
-        table = rekey_table(child.table, plan.column)
-        operators = child.operators + [
-            OperatorStats("rekey", table.total_rows, 0.0, note=f"on {plan.column}")
-        ]
-        return QueryResult(table=table, traffic=child.traffic, operators=operators)
-
-    if isinstance(plan, Aggregate):
-        child = execute(plan.child, cluster, spec)
-        aggregated = run_aggregation(cluster, child.table, plan.aggregates, spec)
-        traffic = child.traffic.merged_with(aggregated.traffic)
-        operators = child.operators + [
-            OperatorStats(
-                "aggregate",
-                aggregated.table.total_rows,
-                aggregated.network_bytes,
-            )
-        ]
-        return QueryResult(table=aggregated.table, traffic=traffic, operators=operators)
-
-    raise ReproError(f"unknown plan node type: {type(plan).__name__}")
+    """Compile a plan tree and run it; returns the final table with accounting."""
+    return compile_plan(plan).run(cluster, spec)

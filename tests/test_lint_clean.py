@@ -22,11 +22,23 @@ def test_repo_source_is_lint_clean():
     assert report.clean, "\n" + report.render_text()
 
 
+def test_exchange_package_is_lint_clean():
+    """The communication layer gets its own gate (make test-exchange).
+
+    Every send in ``repro.exchange`` must honor the staging contracts
+    the REP rules encode — it is the one place all operators now route
+    their traffic through.
+    """
+    report = lint_paths([REPO_SRC / "exchange"])
+    assert report.clean, "\n" + report.render_text()
+    assert report.files_scanned == 8
+
+
 def test_lint_sweep_covers_the_whole_tree():
     report = lint_paths([REPO_SRC])
     # The analyzer itself, the operators, and every subsystem package:
     # a sweep that silently scanned a subset would gut the gate.
-    assert report.files_scanned >= 75
+    assert report.files_scanned >= 85
     assert report.summary()["rules"] == [
         "REP001",
         "REP002",
