@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-exchange lint bench bench-smoke bench-scaling bench-full
+.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,13 @@ test:
 test-exchange:
 	$(PYTHON) -m repro lint src/repro/exchange
 	$(PYTHON) -m pytest tests/test_exchange.py tests/test_exchange_golden.py -q
+
+# Chaos gate: the fault-injection unit suite, then the full matrix —
+# every registry operator, a small seed set, serial and threaded —
+# checking row-identical output and byte-identical goodput ledgers.
+test-chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -q
+	$(PYTHON) -m repro chaos seeds=0,1,2 workers=1,4
 
 # Static analysis: the project's REP determinism/aliasing rules always
 # run; ruff and mypy run when installed (pip install -e .[dev]) and are

@@ -53,7 +53,14 @@ from .encoding import (
     FixedByteEncoding,
     VarByteEncoding,
 )
-from .errors import ReproError
+from .errors import FaultExhaustedError, NodeCrashError, ReproError
+from .faults import (
+    CrashEvent,
+    FaultPlan,
+    FaultRates,
+    FaultStats,
+    StragglerEvent,
+)
 from .parallel import (
     ProcessExecutor,
     SerialExecutor,
@@ -128,6 +135,13 @@ __all__ = [
     "shuffled",
     "pattern_nodes",
     "collocated_fraction",
+    "FaultPlan",
+    "FaultRates",
+    "FaultStats",
+    "CrashEvent",
+    "StragglerEvent",
+    "NodeCrashError",
+    "FaultExhaustedError",
     "ReproError",
     "__version__",
 ]

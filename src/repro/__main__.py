@@ -10,6 +10,8 @@ Usage::
     python -m repro bench-scaling        # 1->N worker scaling curve
     python -m repro lint                 # REP static analysis over src/repro
     python -m repro lint src tests format=json
+    python -m repro chaos --seed 3       # fault-injection matrix, one seed
+    python -m repro chaos seeds=0,1,2 workers=1,4
 
 Options after the experiment id are forwarded as ``key=value`` pairs,
 e.g. ``python -m repro fig3 scaled_tuples=50000``; any other trailing
@@ -60,6 +62,71 @@ def _run_lint(args: list[str]) -> int:
     return 0 if report.clean else 1
 
 
+def _run_chaos(args: list[str]) -> int:
+    """The ``chaos`` subcommand: seeded fault-injection matrix.
+
+    Accepts ``seed=N`` / ``--seed N`` (one seed), ``seeds=0,1,2``,
+    ``nodes=N``, and ``workers=1,4`` (the worker counts of the matrix).
+    Exits 1 when any run violates the row-identical-output or
+    goodput-ledger invariant, 2 on malformed options.
+    """
+    from .faults.chaos import DEFAULT_SEEDS, run_chaos
+
+    normalized: list[str] = []
+    position = 0
+    while position < len(args):
+        arg = args[position]
+        if arg.startswith("--") and "=" not in arg and position + 1 < len(args):
+            normalized.append(f"{arg[2:]}={args[position + 1]}")
+            position += 2
+            continue
+        normalized.append(arg.lstrip("-"))
+        position += 1
+    malformed = [arg for arg in normalized if "=" not in arg]
+    if malformed:
+        print(
+            f"error: unrecognized chaos argument {malformed[0]!r}; "
+            "use seed=N, seeds=0,1,2, nodes=N, workers=1,4",
+            file=sys.stderr,
+        )
+        return 2
+    options = dict(arg.split("=", 1) for arg in normalized)
+    try:
+        if "seed" in options:
+            seeds: tuple[int, ...] = (int(options.pop("seed")),)
+        elif "seeds" in options:
+            seeds = tuple(int(seed) for seed in options.pop("seeds").split(","))
+        else:
+            seeds = DEFAULT_SEEDS
+        num_nodes = int(options.pop("nodes", 4))
+        worker_counts = tuple(
+            int(workers) for workers in str(options.pop("workers", "1")).split(",")
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if options:
+        print(f"error: unknown chaos option(s): {sorted(options)}", file=sys.stderr)
+        return 2
+    report = run_chaos(seeds=seeds, num_nodes=num_nodes, worker_counts=worker_counts)
+    print(
+        f"chaos: {report['runs']} runs over seeds {report['seeds']} "
+        f"x workers {report['worker_counts']} "
+        f"({len(report['algorithms'])} algorithms, {num_nodes} nodes)"
+    )
+    faults = report["faults"]
+    print(
+        f"faults injected: {faults.get('faults_injected', 0):.0f} "
+        f"(crashes: {faults.get('crashes', 0):.0f}, "
+        f"restarts: {faults.get('restarts', 0):.0f}); "
+        f"retransmitted: {report['retransmit_bytes']:.0f} bytes"
+    )
+    for failure in report["failures"]:
+        print(f"FAIL {failure}", file=sys.stderr)
+    print("ok" if report["ok"] else "FAILED")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help", "help"):
@@ -68,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
     command = argv[0]
     if command == "lint":
         return _run_lint(argv[1:])
+    if command == "chaos":
+        return _run_chaos(argv[1:])
     malformed = [arg for arg in argv[1:] if "=" not in arg]
     if malformed:
         print(
@@ -79,9 +148,14 @@ def main(argv: list[str] | None = None) -> int:
     kwargs = dict(pair.split("=", 1) for pair in argv[1:])
     kwargs = {key: _parse_value(value) for key, value in kwargs.items()}
     if "workers" in kwargs:
+        from .errors import ValidationError
         from .parallel import set_default_workers
 
-        set_default_workers(int(kwargs.pop("workers")))
+        try:
+            set_default_workers(kwargs.pop("workers"))
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if command == "bench-smoke":
         from .perf import bench_smoke
 

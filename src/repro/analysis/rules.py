@@ -469,3 +469,56 @@ class WriteAfterSend(Rule):
                 names.extend(WriteAfterSend._subscript_names(element))
             return names
         return []
+
+
+@register_rule
+class SwallowedException(Rule):
+    """REP006: broad exception handlers must re-raise (or narrow).
+
+    Fault tolerance lives on error signals: a dropped message, a dead
+    worker, or an exhausted retry budget surfaces as a typed exception
+    that recovery code catches *specifically*.  A bare ``except:`` or a
+    blanket ``except Exception``/``except BaseException`` whose body
+    never re-raises silently converts those signals into wrong answers
+    — exactly the failure mode a chaos suite cannot distinguish from
+    success.  This rule flags such handlers; legitimate firewalls
+    (e.g. a CLI's top-level reporter) either catch ``ReproError`` or
+    carry a visible ``# repro: noqa[REP006]`` waiver.
+    """
+
+    code = "REP006"
+    summary = "broad exception handler swallows the error"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = self._broad_label(node.type)
+            if label is None:
+                continue
+            if any(isinstance(inner, ast.Raise) for stmt in node.body
+                   for inner in ast.walk(stmt)):
+                continue
+            yield ctx.diagnostic(
+                node,
+                self.code,
+                f"{label} without a re-raise swallows the error; catch the "
+                "specific exception (ReproError subclasses) or re-raise",
+            )
+
+    @classmethod
+    def _broad_label(cls, annotation: ast.AST | None) -> str | None:
+        """The offending handler's label, or None when it is narrow."""
+        if annotation is None:
+            return "bare 'except:'"
+        names = []
+        if isinstance(annotation, ast.Tuple):
+            names = [getattr(el, "id", None) for el in annotation.elts]
+        elif isinstance(annotation, ast.Name):
+            names = [annotation.id]
+        broad = sorted(set(names) & cls._BROAD)
+        if broad:
+            return f"'except {broad[0]}'"
+        return None

@@ -131,8 +131,13 @@ def _sanitized_send(self: Network, src, dst, category, nbytes, payload=None):
 
 
 def _sanitized_end_phase(self: Network) -> None:
-    _saved["end_phase"](self)
-    _thaw_network(self)
+    # Thaw even when the barrier raises (a fault injector exhausting its
+    # retry budget mid-commit): the phase is closed either way, and a
+    # degraded re-run must not inherit read-only arrays.
+    try:
+        _saved["end_phase"](self)
+    finally:
+        _thaw_network(self)
 
 
 def _sanitized_abort_phase(self: Network) -> None:

@@ -37,6 +37,10 @@ class Cluster:
         ``REPRO_WORKERS`` environment variable, else 1 = serial).
     executor:
         Pre-built executor, overriding ``workers``.
+    fault_plan:
+        Optional seeded :class:`~repro.faults.plan.FaultPlan`; when
+        given (and not null), every join on this cluster runs under
+        deterministic fault injection with phase-level recovery.
     """
 
     def __init__(
@@ -44,10 +48,17 @@ class Cluster:
         num_nodes: int,
         workers: int | None = None,
         executor: PhaseExecutor | None = None,
+        fault_plan=None,
     ):
         self.network = Network(num_nodes)
         self.nodes = [Node(i) for i in range(num_nodes)]
         self.executor = executor if executor is not None else resolve_executor(workers)
+        if fault_plan is not None:
+            self.network.set_fault_plan(fault_plan)
+
+    def set_fault_plan(self, fault_plan) -> None:
+        """Install (or clear, with ``None``) a fault-injection plan."""
+        self.network.set_fault_plan(fault_plan)
 
     @property
     def num_nodes(self) -> int:
@@ -69,21 +80,33 @@ class Cluster:
         fn: Callable[[int], object],
         tasks: Sequence[int] | int | None = None,
         profile: ExecutionProfile | None = None,
+        task_nodes: Sequence[int] | None = None,
     ) -> list:
         """Run one phase of per-node work on this cluster's executor.
 
         See :func:`repro.parallel.run_phase`: each task gets a private
         network send lane (and profile lane), committed in task order at
         the closing barrier, so results are deterministic for any worker
-        count.
+        count.  ``task_nodes`` maps task positions to the node each task
+        simulates when ``tasks`` is not already one-task-per-node
+        (fault-injected crash recovery needs the mapping).
         """
-        return run_phase(self, fn, tasks=tasks, profile=profile)
+        return run_phase(self, fn, tasks=tasks, profile=profile, task_nodes=task_nodes)
 
     def reset(self) -> None:
-        """Clear node scratch state and start a fresh traffic ledger."""
+        """Clear node scratch state, inboxes, and start a fresh ledger.
+
+        Rewinds the fault injector too (same seed, phase 1 again), so
+        every join on a fault-injected cluster — including a degraded
+        re-run after :class:`~repro.errors.FaultExhaustedError` — sees
+        the identical, reproducible fault sequence.
+        """
         for node in self.nodes:
             node.clear()
+        self.network.clear_inboxes()
         self.network.reset_ledger()
+        if self.network.faults is not None:
+            self.network.faults.reset()
 
     def check_table(self, table: DistributedTable) -> None:
         """Validate that a table is partitioned for this cluster."""

@@ -37,6 +37,19 @@ sender that intends to reuse or mutate the buffers passes ``copy=True``
 (or copies itself) so the network materializes a private snapshot at
 send time.  Receivers own what they are handed and must likewise treat
 it as immutable (they concatenate into fresh arrays when merging).
+
+Fault injection
+---------------
+With a :class:`~repro.faults.plan.FaultPlan` installed
+(:meth:`Network.set_fault_plan`), the phase barrier additionally runs
+every committed message through the plan's
+:class:`~repro.faults.injector.FaultInjector`: messages may be dropped
+(and retransmitted with backoff on a virtual clock), duplicated,
+delayed, or reordered within a link, and :meth:`deliver` becomes
+idempotent (sequence-number sort plus duplicate elimination).  Goodput
+accounting is untouched — recovery overhead lands in the ledger's
+separate retransmit counters — and with no plan installed none of these
+code paths run at all.
 """
 
 from __future__ import annotations
@@ -93,6 +106,14 @@ class Message:
         Arbitrary python/numpy content consumed by the receiving operator.
         Handed over zero-copy; see the module notes for the
         copy-on-conflict rule.
+    seq:
+        Globally monotonic sequence number, assigned by the network in
+        deterministic commit order (immediate sends at send time, staged
+        sends at the barrier in lane order).  Fault-free inbox order is
+        always ascending in ``seq``, which is what lets the fault
+        injector's receivers (:mod:`repro.faults`) restore exact
+        fault-free delivery order by sorting and dedup duplicates
+        idempotently.  ``-1`` until committed.
     """
 
     src: int
@@ -100,11 +121,22 @@ class Message:
     category: MessageClass
     nbytes: float
     payload: Any
+    seq: int = -1
 
 
 @dataclass
 class TrafficLedger:
-    """Byte counters aggregated by message class and by (src, dst) link."""
+    """Byte counters aggregated by message class and by (src, dst) link.
+
+    Goodput (first-transmission) bytes live in ``by_class``/``by_link``;
+    recovery overhead — retransmissions and wire duplicates injected by
+    a :class:`~repro.faults.plan.FaultPlan` — is accounted separately in
+    ``retransmit_by_class``, so fault-injected runs keep a goodput
+    ledger byte-identical to the fault-free run while the recovery cost
+    stays measurable alongside the paper's byte breakdowns.  On the
+    fault-free fast path the retransmit counters are provably zero
+    (nothing ever records into them).
+    """
 
     by_class: dict[MessageClass, float] = field(
         default_factory=lambda: defaultdict(float)
@@ -114,6 +146,10 @@ class TrafficLedger:
     received_by_node: dict[int, float] = field(default_factory=lambda: defaultdict(float))
     local_bytes: float = 0.0
     message_count: int = 0
+    retransmit_by_class: dict[MessageClass, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    retransmit_count: int = 0
 
     def record(self, msg: Message) -> None:
         """Account one message; local messages only bump ``local_bytes``."""
@@ -126,10 +162,25 @@ class TrafficLedger:
         self.sent_by_node[msg.src] += msg.nbytes
         self.received_by_node[msg.dst] += msg.nbytes
 
+    def record_retransmit(self, category: MessageClass, nbytes: float) -> None:
+        """Account one retransmitted (or duplicated) wire copy.
+
+        Kept apart from :meth:`record`: retransmissions are recovery
+        overhead, not goodput, and must never perturb ``total_bytes``
+        or the per-class breakdowns the paper's figures compare.
+        """
+        self.retransmit_by_class[category] += nbytes
+        self.retransmit_count += 1
+
     @property
     def total_bytes(self) -> float:
         """Total bytes that crossed the network (local copies excluded)."""
         return float(sum(self.by_class.values()))
+
+    @property
+    def retransmit_bytes(self) -> float:
+        """Recovery overhead bytes (retransmissions and duplicates)."""
+        return float(sum(self.retransmit_by_class.values()))
 
     def class_bytes(self, category: MessageClass) -> float:
         """Bytes accounted under one message class."""
@@ -138,6 +189,12 @@ class TrafficLedger:
     def breakdown(self) -> dict[str, float]:
         """Human-readable byte breakdown keyed by message-class value."""
         return {c.value: float(self.by_class.get(c, 0.0)) for c in MessageClass}
+
+    def retransmit_breakdown(self) -> dict[str, float]:
+        """Recovery-overhead bytes keyed by message-class value."""
+        return {
+            c.value: float(self.retransmit_by_class.get(c, 0.0)) for c in MessageClass
+        }
 
     def merge(self, other: "TrafficLedger") -> "TrafficLedger":
         """Accumulate ``other`` into this ledger in place; returns ``self``.
@@ -157,6 +214,9 @@ class TrafficLedger:
             self.received_by_node[node] += nbytes
         self.local_bytes += other.local_bytes
         self.message_count += other.message_count
+        for category, nbytes in other.retransmit_by_class.items():
+            self.retransmit_by_class[category] += nbytes
+        self.retransmit_count += other.retransmit_count
         return self
 
     def merged_with(self, other: "TrafficLedger") -> "TrafficLedger":
@@ -198,6 +258,29 @@ class Network:
         self._inboxes: list[list[Message]] = [[] for _ in range(num_nodes)]
         self._phase_lanes: list[SendLane] | None = None
         self._tls = threading.local()
+        #: Active fault injector, or ``None`` for the fault-free fast
+        #: path (which stays byte-for-byte the pre-fault code path).
+        self.faults = None
+        self._next_seq = 0
+
+    def set_fault_plan(self, plan) -> None:
+        """Install (or clear, with ``None``) a seeded fault-injection plan.
+
+        A null plan (``plan.is_null()``) installs no injector: the
+        fault-free fast path must stay untouched so golden-equivalence
+        ledgers remain byte-identical.
+        """
+        if plan is None or plan.is_null():
+            self.faults = None
+            return
+        from ..faults.injector import FaultInjector
+
+        self.faults = FaultInjector(plan)
+
+    def _assign_seq(self, msg: Message) -> None:
+        """Stamp the next global sequence number (commit order)."""
+        msg.seq = self._next_seq
+        self._next_seq += 1
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -219,6 +302,8 @@ class Network:
         if self._phase_lanes is not None:
             raise NetworkError("a network phase is already open (missing barrier?)")
         self._phase_lanes = [SendLane() for _ in range(num_lanes)]
+        if self.faults is not None:
+            self.faults.begin_phase()
         return self._phase_lanes
 
     @contextmanager
@@ -242,10 +327,31 @@ class Network:
         if lanes is None:
             raise NetworkError("no network phase is open")
         self._phase_lanes = None
+        if self.faults is None:
+            for lane in lanes:
+                self.ledger.merge(lane.ledger)
+                for msg in lane.messages:
+                    self._assign_seq(msg)
+                    self._inboxes[msg.dst].append(msg)
+            return
+        # Fault-injected barrier: goodput accounting is identical (lane
+        # ledgers merge unchanged), then every destination's staged
+        # batch runs through the injector on this (coordinator) thread
+        # in deterministic lane order, so drops, retransmissions,
+        # duplicates, and reorders are bit-identical across worker
+        # counts.  A retry budget exhaustion raises FaultExhaustedError
+        # with the phase already closed; callers unwind via abort_phase.
+        staged: dict[int, list[Message]] = {}
         for lane in lanes:
             self.ledger.merge(lane.ledger)
             for msg in lane.messages:
-                self._inboxes[msg.dst].append(msg)
+                self._assign_seq(msg)
+                staged.setdefault(msg.dst, []).append(msg)
+        for dst in sorted(staged):
+            self._inboxes[dst].extend(
+                self.faults.commit_batch(dst, staged[dst], self.ledger)
+            )
+        self.faults.barrier()
 
     def abort_phase(self) -> None:
         """Discard all staged lanes (error path; accounting unwinds)."""
@@ -280,6 +386,13 @@ class Network:
             lane.messages.append(msg)
             return
         self.ledger.record(msg)
+        self._assign_seq(msg)
+        if self.faults is not None and src != dst:
+            # Immediate (coordinator) sends run the fault model at send
+            # time; the coordinator is single-threaded, so draw order
+            # stays deterministic.
+            self._inboxes[dst].extend(self.faults.transmit(msg, self.ledger))
+            return
         self._inboxes[dst].append(msg)
 
     def send_batches(
@@ -323,9 +436,16 @@ class Network:
         in an open phase's lanes are not included — they appear after
         :meth:`end_phase`.  Concurrent delivery is safe for distinct
         destinations (each inbox belongs to one node's task).
+
+        Under an active fault plan, delivery is idempotent: the drained
+        messages are sorted by sequence number (restoring exact
+        fault-free arrival order after reorders and requeues) and wire
+        duplicates are dropped.
         """
         self._check_node(dst)
         messages, self._inboxes[dst] = self._inboxes[dst], []
+        if self.faults is not None and messages:
+            messages = self.faults.dedup_and_order(messages)
         return messages
 
     def deliver_all(self) -> Iterator[tuple[int, list[Message]]]:
@@ -346,6 +466,21 @@ class Network:
         """
         self._check_node(dst)
         self._inboxes[dst].extend(messages)
+
+    def clear_inboxes(self) -> int:
+        """Discard every undelivered message; returns how many were dropped.
+
+        Recovery hook: after a join aborts mid-phase (e.g. a
+        :class:`~repro.errors.FaultExhaustedError` escaped the retry
+        budget), committed-but-undrained messages linger in the inboxes.
+        ``Cluster.reset`` calls this so the next join — including an
+        optimizer's degraded fallback run — starts from a clean fabric.
+        """
+        dropped = 0
+        for inbox in self._inboxes:
+            dropped += len(inbox)
+            inbox.clear()
+        return dropped
 
     def pending_messages(self) -> int:
         """Number of sent-but-undelivered messages (should be 0 after a join).

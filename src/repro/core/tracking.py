@@ -168,7 +168,14 @@ def run_tracking_phase(
 
     # One task per (side, node): R partitions first, then S, so the
     # stream assembly below sees the same order as a serial nested loop.
-    streams = cluster.run_phase(track_partition, tasks=2 * num_nodes, profile=profile)
+    # task_nodes maps both sides' tasks back to the node they simulate,
+    # so crash injection hits each node's R and S work alike.
+    streams = cluster.run_phase(
+        track_partition,
+        tasks=2 * num_nodes,
+        profile=profile,
+        task_nodes=[task % num_nodes for task in range(2 * num_nodes)],
+    )
     for stream in streams:
         if stream is None:
             continue

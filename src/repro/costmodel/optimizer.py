@@ -22,7 +22,12 @@ from ..joins.registry import ALGORITHMS
 from .formulas import CorrelationClasses, track_join_beats_hash_join_width_rule
 from .stats import JoinStats
 
-__all__ = ["AlgorithmEstimate", "rank_algorithms", "choose_algorithm"]
+__all__ = [
+    "AlgorithmEstimate",
+    "rank_algorithms",
+    "choose_algorithm",
+    "fallback_algorithm",
+]
 
 #: Keys are "almost entirely unique" when repetition is below this.
 _UNIQUE_KEY_REPETITION = 1.05
@@ -52,6 +57,24 @@ def rank_algorithms(
         if info.cost is not None
     ]
     return sorted(estimates, key=lambda e: e.cost_bytes)
+
+
+def fallback_algorithm(
+    stats: JoinStats, classes: CorrelationClasses | None = None
+) -> AlgorithmEstimate | None:
+    """Cheapest non-tracking algorithm, for graceful degradation.
+
+    When a tracking phase exhausts its fault budget (repeatedly dropped
+    ``KEYS_COUNTS``/``KEYS_NODES`` traffic), the query executor retries
+    with this choice instead of failing the query: the non-tracking
+    operators never send the poisoned message classes.  Returns ``None``
+    when the registry has no rankable non-tracking entry.
+    """
+    tracking = {info.name: info.tracking for info in ALGORITHMS}
+    for estimate in rank_algorithms(stats, classes):
+        if not tracking[estimate.algorithm]:
+            return estimate
+    return None
 
 
 def choose_algorithm(

@@ -65,3 +65,48 @@ class UnknownKeyError(ReproError, KeyError):
 
 class AnalysisError(ReproError):
     """The static-analysis engine was given an unreadable or invalid input."""
+
+
+class FaultError(ReproError):
+    """Base class of the fault-injection and recovery subsystem."""
+
+
+class NodeCrashError(FaultError):
+    """An injected node crash (fail-stop at phase entry).
+
+    Raised inside a phase task by the fault injector; the phase
+    supervisor in :func:`repro.parallel.run_phase` catches it and
+    re-executes the crashed node's work from the last barrier, so this
+    error normally never reaches user code.
+    """
+
+    def __init__(self, message: str, *, node: int | None = None, phase: int | None = None):
+        super().__init__(message)
+        self.node = node
+        self.phase = phase
+
+
+class FaultExhaustedError(FaultError):
+    """A fault survived the full retry/restart budget.
+
+    Carries enough context for graceful degradation: ``category`` is the
+    :class:`~repro.cluster.network.MessageClass` whose retransmits were
+    exhausted (``None`` for crash-restart exhaustion), ``link`` the
+    ``(src, dst)`` pair, ``node`` the unrecoverable node, and
+    ``attempts`` how many deliveries or restarts were tried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        category=None,
+        link: tuple[int, int] | None = None,
+        node: int | None = None,
+        attempts: int | None = None,
+    ):
+        super().__init__(message)
+        self.category = category
+        self.link = link
+        self.node = node
+        self.attempts = attempts

@@ -101,4 +101,11 @@ class Migrate:
                 self.transfer_step, self.copy_step,
             )
 
-        cluster.run_phase(migrate_holder, tasks=len(node_groups), profile=profile)
+        # Crash recovery must know which node each task simulates: this
+        # phase runs one task per *instructed holder*, not per node.
+        cluster.run_phase(
+            migrate_holder,
+            tasks=len(node_groups),
+            profile=profile,
+            task_nodes=[node for node, _ in node_groups],
+        )

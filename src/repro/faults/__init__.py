@@ -1,0 +1,36 @@
+"""Deterministic fault injection and phase-level recovery.
+
+The package has three pieces:
+
+:mod:`repro.faults.plan`
+    :class:`FaultPlan` and friends — seeded, declarative descriptions of
+    what goes wrong (message drops/duplicates/reorders/delays, scripted
+    node crashes and stragglers) plus the recovery budget.
+
+:mod:`repro.faults.injector`
+    :class:`FaultInjector` — applies a plan at the network's phase
+    barriers and implements sequence-numbered idempotent delivery,
+    retransmission with capped virtual-clock backoff, and keyed
+    fail-stop crash draws.
+
+:mod:`repro.faults.chaos`
+    The chaos harness: runs every registered join algorithm under
+    seeded fault plans and checks the headline invariant — output
+    row-identical to the fault-free run, goodput ledger byte-identical.
+
+Install a plan with ``Cluster(..., fault_plan=FaultPlan(seed=7, ...))``
+or ``cluster.set_fault_plan(plan)``; a ``None`` or null plan leaves the
+fault-free fast path completely untouched.
+"""
+
+from .injector import FaultInjector
+from .plan import CrashEvent, FaultPlan, FaultRates, FaultStats, StragglerEvent
+
+__all__ = [
+    "FaultPlan",
+    "FaultRates",
+    "FaultStats",
+    "CrashEvent",
+    "StragglerEvent",
+    "FaultInjector",
+]

@@ -1,0 +1,272 @@
+"""Fault plans: seeded, declarative descriptions of injected failures.
+
+A :class:`FaultPlan` is the single configuration object of the fault
+subsystem.  It is consumed by the
+:class:`~repro.faults.injector.FaultInjector` that the
+:class:`~repro.cluster.network.Network` consults at every phase barrier,
+and it describes *what* goes wrong, never *how* recovery works:
+
+- message-level rates (:class:`FaultRates`): probabilities that a staged
+  message is dropped, duplicated, delayed past the barrier ack, or that
+  a link's barrier batch is reordered — globally, per message class, or
+  per ``(src, dst)`` link;
+- scripted node crashes (:class:`CrashEvent`): "node 3 dies entering
+  phase 2", fail-stop at phase entry, optionally several times in a
+  row; plus an optional probabilistic ``crash_rate``;
+- scripted stragglers (:class:`StragglerEvent`): a node that holds the
+  phase barrier back for ``delay`` virtual seconds;
+- the recovery budget: ``max_retries`` per message, ``max_node_restarts``
+  per crashed node and phase, and the capped exponential backoff
+  schedule (``backoff_base``/``backoff_cap``) paid on the injector's
+  virtual clock (never a wall clock; REP002 applies to this package).
+
+Everything flows from ``seed``: two runs with the same plan, workload,
+and cluster inject byte-identical fault sequences for any worker count,
+because every random draw happens on the coordinator thread in
+deterministic barrier order (crash draws use per-``(node, phase,
+attempt)`` keyed substreams, so they are schedule-independent too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..cluster.network import MessageClass
+from ..errors import ValidationError
+
+__all__ = ["FaultRates", "CrashEvent", "StragglerEvent", "FaultPlan", "FaultStats"]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-message fault probabilities for one class/link scope."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate", "reorder", "delay"):
+            _check_probability(name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Scripted fail-stop: ``node`` dies entering ``phase``, ``count`` times.
+
+    Phases are numbered from 1 in the order the join opens them
+    (one per ``run_phase`` barrier).  With ``count`` larger than the
+    plan's ``max_node_restarts`` the node never comes back and the
+    phase raises :class:`~repro.errors.FaultExhaustedError`.
+    """
+
+    node: int
+    phase: int
+    count: int = 1
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValidationError(f"crash node must be >= 0, got {self.node}")
+        if self.phase < 1:
+            raise ValidationError(f"crash phase numbers start at 1, got {self.phase}")
+        if self.count < 1:
+            raise ValidationError(f"crash count must be >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
+class StragglerEvent:
+    """Scripted straggler: ``node`` delays the ``phase`` barrier by ``delay``.
+
+    The delay is charged to the injector's virtual clock (the phase
+    barrier waits for the slowest node), never to wall time.
+    """
+
+    node: int
+    phase: int
+    delay: float = 1.0
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValidationError(f"straggler node must be >= 0, got {self.node}")
+        if self.phase < 1:
+            raise ValidationError(
+                f"straggler phase numbers start at 1, got {self.phase}"
+            )
+        if self.delay <= 0:
+            raise ValidationError(f"straggler delay must be > 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of injected cluster faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the injector's sequential RNG and of the keyed crash
+        substreams; the sole source of randomness.
+    drop, duplicate, reorder, delay:
+        Base per-message fault probabilities (``reorder`` applies per
+        link and barrier batch, the rest per message).
+    class_rates / link_rates:
+        Scoped overrides.  Resolution is most-specific-wins and whole:
+        a link override replaces a class override replaces the base
+        rates (fields are not merged).
+    crashes / stragglers:
+        Scripted node events; see :class:`CrashEvent` and
+        :class:`StragglerEvent`.
+    crash_rate:
+        Optional probabilistic crash chance per (node, phase, attempt),
+        drawn from a keyed substream so it is schedule-independent.
+    max_retries:
+        Retransmissions allowed per message before the sender raises
+        :class:`~repro.errors.FaultExhaustedError`.
+    max_node_restarts:
+        Times a crashed node may be restarted within one phase before
+        the phase raises :class:`~repro.errors.FaultExhaustedError`.
+    backoff_base / backoff_cap:
+        Capped exponential backoff of retransmissions, in virtual
+        seconds: retry ``k`` waits ``min(cap, base * 2**(k-1))``.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    class_rates: Mapping[MessageClass, FaultRates] = field(default_factory=dict)
+    link_rates: Mapping[tuple[int, int], FaultRates] = field(default_factory=dict)
+    crashes: tuple[CrashEvent, ...] = ()
+    stragglers: tuple[StragglerEvent, ...] = ()
+    crash_rate: float = 0.0
+    max_retries: int = 8
+    max_node_restarts: int = 2
+    backoff_base: float = 1.0
+    backoff_cap: float = 64.0
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate", "reorder", "delay", "crash_rate"):
+            _check_probability(name, getattr(self, name))
+        for scope, rates in dict(self.class_rates).items():
+            if not isinstance(scope, MessageClass) or not isinstance(rates, FaultRates):
+                raise ValidationError(
+                    "class_rates maps MessageClass -> FaultRates, got "
+                    f"{scope!r} -> {rates!r}"
+                )
+        for scope, rates in dict(self.link_rates).items():
+            if not isinstance(rates, FaultRates):
+                raise ValidationError(
+                    f"link_rates maps (src, dst) -> FaultRates, got {rates!r}"
+                )
+        if self.max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.max_node_restarts < 0:
+            raise ValidationError(
+                f"max_node_restarts must be >= 0, got {self.max_node_restarts}"
+            )
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValidationError(
+                "backoff must satisfy 0 < backoff_base <= backoff_cap, got "
+                f"base={self.backoff_base}, cap={self.backoff_cap}"
+            )
+
+    @property
+    def base_rates(self) -> FaultRates:
+        """The unscoped fault rates."""
+        return FaultRates(self.drop, self.duplicate, self.reorder, self.delay)
+
+    def rates_for(self, category: MessageClass, src: int, dst: int) -> FaultRates:
+        """Effective rates for one message: link beats class beats base."""
+        link = self.link_rates.get((src, dst))
+        if link is not None:
+            return link
+        scoped = self.class_rates.get(category)
+        if scoped is not None:
+            return scoped
+        return self.base_rates
+
+    def reorder_rate_for(self, src: int, dst: int) -> float:
+        """Per-barrier reorder probability of one link's batch."""
+        link = self.link_rates.get((src, dst))
+        if link is not None:
+            return link.reorder
+        return self.reorder
+
+    def crash_count(self, node: int, phase: int) -> int:
+        """Scripted crashes of ``node`` entering ``phase``."""
+        return sum(
+            event.count
+            for event in self.crashes
+            if event.node == node and event.phase == phase
+        )
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (fault-free fast path)."""
+        return (
+            self.drop == self.duplicate == self.reorder == self.delay == 0.0
+            and self.crash_rate == 0.0
+            and not self.class_rates
+            and not self.link_rates
+            and not self.crashes
+            and not self.stragglers
+        )
+
+
+@dataclass
+class FaultStats:
+    """Injection and recovery counters accumulated by one injector.
+
+    ``retransmit_bytes`` mirrors the
+    :class:`~repro.cluster.network.TrafficLedger` retransmit counters
+    but survives ledger resets, so a chaos run can report recovery cost
+    across many joins.  ``virtual_time`` is the backoff/straggler time
+    charged to the injector's virtual clock.
+    """
+
+    drops: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    reorders: int = 0
+    retries: int = 0
+    deduped: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    stragglers: int = 0
+    retransmit_bytes: float = 0.0
+    virtual_time: float = 0.0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected fault events of every kind."""
+        return (
+            self.drops
+            + self.duplicates
+            + self.delays
+            + self.reorders
+            + self.crashes
+            + self.stragglers
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly counter snapshot."""
+        return {
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "delays": self.delays,
+            "reorders": self.reorders,
+            "retries": self.retries,
+            "deduped": self.deduped,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "stragglers": self.stragglers,
+            "faults_injected": self.faults_injected,
+            "retransmit_bytes": self.retransmit_bytes,
+            "virtual_time": self.virtual_time,
+        }

@@ -52,6 +52,11 @@ class AlgorithmInfo:
     paper_label:
         Row label in the paper's Tables 2-4 for the variants the
         implementation study measures, ``None`` otherwise.
+    tracking:
+        True for operators with a tracking phase (the track-join
+        family).  Graceful degradation keys on this: when tracking
+        traffic exhausts its fault budget, the executor falls back to
+        the cheapest non-tracking entry.
     """
 
     name: str
@@ -59,6 +64,7 @@ class AlgorithmInfo:
     factory: Callable[[], DistributedJoin]
     cost: CostFn | None = None
     paper_label: str | None = None
+    tracking: bool = False
 
 
 def _formulas():
@@ -106,12 +112,14 @@ ALGORITHMS: tuple[AlgorithmInfo, ...] = (
         lambda: _track_join().TrackJoin2("RS"),
         cost=lambda stats, classes: _formulas().track2_cost(stats, "RS"),
         paper_label="2TJ",
+        tracking=True,
     ),
     AlgorithmInfo(
         "2TJ-S",
         "2-phase track join, selectively broadcasting S to R locations",
         lambda: _track_join().TrackJoin2("SR"),
         cost=lambda stats, classes: _formulas().track2_cost(stats, "SR"),
+        tracking=True,
     ),
     AlgorithmInfo(
         "3TJ",
@@ -119,6 +127,7 @@ ALGORITHMS: tuple[AlgorithmInfo, ...] = (
         lambda: _track_join().TrackJoin3(),
         cost=lambda stats, classes: _formulas().track3_cost(stats, classes),
         paper_label="3TJ",
+        tracking=True,
     ),
     AlgorithmInfo(
         "4TJ",
@@ -126,6 +135,7 @@ ALGORITHMS: tuple[AlgorithmInfo, ...] = (
         lambda: _track_join().TrackJoin4(),
         cost=lambda stats, classes: _formulas().track4_cost(stats, classes),
         paper_label="4TJ",
+        tracking=True,
     ),
 )
 

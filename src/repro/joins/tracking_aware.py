@@ -266,7 +266,10 @@ class TrackingAwareHashJoin(DistributedJoin):
 
         job_batches: list[tuple[int, int, LocalPartition]] = []
         for batches_here in cluster.run_phase(
-            split_jobs, tasks=len(job_sources), profile=profile
+            split_jobs,
+            tasks=len(job_sources),
+            profile=profile,
+            task_nodes=[src for src, _ in job_sources],
         ):
             job_batches.extend(batches_here)
         for src, dst, batch in job_batches:

@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import abc
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
 
-from ..errors import ParallelError
+from ..errors import FaultExhaustedError, NodeCrashError, ParallelError, ValidationError
 
 __all__ = [
     "PhaseExecutor",
@@ -56,11 +58,35 @@ WORKERS_ENV = "REPRO_WORKERS"
 _default_workers: int | None = None
 
 
+def _check_workers(workers) -> int:
+    """Validate an explicit worker count; raises :class:`ValidationError`.
+
+    Accepts integers (and integer-valued floats a CLI parser may
+    produce); anything malformed or non-positive raises a clear,
+    typed error instead of a bare ``ValueError`` escaping a parser.
+    """
+    if isinstance(workers, bool) or not isinstance(workers, (int, float)):
+        raise ValidationError(
+            f"worker count must be an integer, got {workers!r}"
+        )
+    if isinstance(workers, float):
+        if not workers.is_integer():
+            raise ValidationError(f"worker count must be an integer, got {workers!r}")
+        workers = int(workers)
+    if workers < 1:
+        raise ValidationError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
 def default_workers() -> int:
     """The worker count new clusters use when none is given.
 
     Resolution order: :func:`set_default_workers`, the ``REPRO_WORKERS``
-    environment variable, then 1 (serial).
+    environment variable, then 1 (serial).  A malformed or non-positive
+    ``REPRO_WORKERS`` never aborts the process: it falls back to serial
+    with a warning (the environment is ambient configuration, unlike an
+    explicit ``workers=`` argument, which raises
+    :class:`~repro.errors.ValidationError`).
     """
     if _default_workers is not None:
         return _default_workers
@@ -68,10 +94,22 @@ def default_workers() -> int:
     if env:
         try:
             workers = int(env)
-        except ValueError as exc:
-            raise ParallelError(f"{WORKERS_ENV} must be an integer, got {env!r}") from exc
+        except ValueError:
+            warnings.warn(
+                f"{WORKERS_ENV}={env!r} is not an integer; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
         if workers < 1:
-            raise ParallelError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+            warnings.warn(
+                f"{WORKERS_ENV} must be >= 1, got {workers}; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
         return workers
     return 1
 
@@ -82,8 +120,8 @@ def set_default_workers(workers: int | None) -> int | None:
     ``None`` restores environment/serial resolution.
     """
     global _default_workers
-    if workers is not None and workers < 1:
-        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    if workers is not None:
+        workers = _check_workers(workers)
     previous = _default_workers
     _default_workers = workers
     return previous
@@ -123,9 +161,7 @@ class ThreadExecutor(PhaseExecutor):
     """Thread-pool execution for GIL-releasing numpy task bodies."""
 
     def __init__(self, workers: int):
-        if workers < 1:
-            raise ParallelError(f"worker count must be >= 1, got {workers}")
-        self.workers = workers
+        self.workers = _check_workers(workers)
         self._pool: ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -150,12 +186,21 @@ class ProcessExecutor(PhaseExecutor):
     Arrays should be passed as :class:`repro.parallel.shm.SharedArray`
     handles so workers attach to the same memory instead of receiving
     pickled copies.
+
+    A supervisor watches for dead workers: when the pool breaks (a
+    worker process died mid-task), the pool is respawned and only the
+    unfinished tasks are resubmitted, up to ``max_respawns`` times
+    before a :class:`~repro.errors.FaultExhaustedError` propagates.
+    Task functions must therefore be safe to re-execute (the phase
+    tasks are: they produce results, they don't mutate shared state
+    before the barrier).
     """
 
-    def __init__(self, workers: int):
-        if workers < 1:
-            raise ParallelError(f"worker count must be >= 1, got {workers}")
-        self.workers = workers
+    def __init__(self, workers: int, max_respawns: int = 2):
+        self.workers = _check_workers(workers)
+        if max_respawns < 0:
+            raise ValidationError(f"max_respawns must be >= 0, got {max_respawns}")
+        self.max_respawns = max_respawns
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -164,7 +209,34 @@ class ProcessExecutor(PhaseExecutor):
         return self._pool
 
     def map(self, fn: Callable, items: Iterable) -> list:
-        return list(self._ensure_pool().map(fn, items))
+        items = list(items)
+        results: list = [None] * len(items)
+        pending = list(range(len(items)))
+        respawns = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = {index: pool.submit(fn, items[index]) for index in pending}
+            failed: list[int] = []
+            for index in pending:
+                try:
+                    results[index] = futures[index].result()
+                except BrokenProcessPool:
+                    failed.append(index)
+            if not failed:
+                break
+            # A worker died: discard the broken pool, respawn, and
+            # resubmit only the tasks that never produced a result.
+            self.close()
+            respawns += 1
+            if respawns > self.max_respawns:
+                raise FaultExhaustedError(
+                    f"process pool broke {respawns} times "
+                    f"({len(failed)} tasks unfinished); "
+                    f"respawn budget of {self.max_respawns} exhausted",
+                    attempts=respawns,
+                )
+            pending = failed
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
@@ -179,11 +251,13 @@ def resolve_executor(
 
     One worker always resolves to :class:`SerialExecutor`; more workers
     resolve to the requested ``backend`` (``"thread"`` or ``"process"``).
+    A malformed or non-positive explicit ``workers`` raises
+    :class:`~repro.errors.ValidationError`; an unknown backend raises
+    :class:`~repro.errors.ParallelError`.
     """
     if workers is None:
         workers = default_workers()
-    if workers < 1:
-        raise ParallelError(f"worker count must be >= 1, got {workers}")
+    workers = _check_workers(workers)
     if workers == 1:
         return SerialExecutor()
     if backend == "thread":
@@ -193,12 +267,28 @@ def resolve_executor(
     raise ParallelError(f"backend must be 'thread' or 'process', got {backend!r}")
 
 
+class _CrashedTask:
+    """Sentinel result marking a task whose node crashed at phase entry.
+
+    Crashes must not abort the whole phase inside ``executor.map`` (the
+    supervisor restarts crashed nodes afterwards), so the guarded task
+    wrapper converts :class:`~repro.errors.NodeCrashError` into this
+    sentinel instead of letting it propagate.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: NodeCrashError):
+        self.error = error
+
+
 def run_phase(
     cluster,
     fn: Callable[[int], object],
     tasks: Sequence[int] | int | None = None,
     profile=None,
     executor: PhaseExecutor | None = None,
+    task_nodes: Sequence[int] | None = None,
 ) -> list:
     """Run one phase's tasks with barrier semantics and deterministic state.
 
@@ -212,6 +302,19 @@ def run_phase(
     Messages sent inside the phase become visible to ``deliver`` only
     after the barrier, matching the paper's non-pipelined phase model.
 
+    Crash supervision
+        When the cluster network has a fault plan installed, each task
+        asks the injector whether its node fail-stops entering this
+        phase — *before* the task body runs or its lane binds, so a
+        crashed task has no partial side effects.  The supervisor then
+        re-executes crashed tasks inline (same lane position, preserving
+        barrier commit order) until they succeed or the plan's
+        ``max_node_restarts`` budget is spent, at which point
+        :class:`~repro.errors.FaultExhaustedError` propagates and the
+        phase aborts.  Crash injection needs a task-to-node mapping:
+        one-task-per-node phases provide it implicitly, other phases
+        pass ``task_nodes``; phases with neither run uninjected.
+
     Returns the task results in task order.
     """
     executor = executor or cluster.executor
@@ -223,6 +326,18 @@ def run_phase(
     else:
         indices = list(tasks)
     count = len(indices)
+    injector = getattr(network, "faults", None)
+    nodes: Sequence[int] | None
+    if task_nodes is not None:
+        nodes = list(task_nodes)
+        if len(nodes) != count:
+            raise ParallelError(
+                f"task_nodes has {len(nodes)} entries for {count} tasks"
+            )
+    elif tasks is None:
+        nodes = list(indices)
+    else:
+        nodes = None
     lanes = network.begin_phase(count)
     profile_lanes = profile.begin_phase(count) if profile is not None else None
 
@@ -234,14 +349,52 @@ def run_phase(
             with profile.bind_lane(profile_lanes[position]):
                 return fn(index)
 
+    if injector is None or nodes is None:
+        guarded = task
+    else:
+
+        def guarded(position: int):
+            try:
+                injector.maybe_crash(nodes[position])
+            except NodeCrashError as error:
+                return _CrashedTask(error)
+            return task(position)
+
     try:
-        results = executor.map(task, range(count))
+        results = executor.map(guarded, range(count))
+        if injector is not None and nodes is not None:
+            restarts: dict[int, int] = {}
+            for position, result in enumerate(results):
+                while isinstance(result, _CrashedTask):
+                    node = nodes[position]
+                    attempts = restarts.get(node, 0) + 1
+                    restarts[node] = attempts
+                    if attempts > injector.plan.max_node_restarts:
+                        raise FaultExhaustedError(
+                            f"node {node} crashed entering phase "
+                            f"{injector.phase} and stayed down past the "
+                            f"restart budget of "
+                            f"{injector.plan.max_node_restarts}",
+                            node=node,
+                            attempts=attempts,
+                        ) from result.error
+                    injector.record_restart(node)
+                    try:
+                        injector.maybe_crash(node)
+                    except NodeCrashError as error:
+                        result = _CrashedTask(error)
+                        continue
+                    # Re-execute from the last barrier, inline on the
+                    # coordinator, into the task's original (still
+                    # empty) lane so commit order is unchanged.
+                    result = task(position)
+                results[position] = result
+        network.end_phase()
+        if profile is not None:
+            profile.end_phase()
     except BaseException:
         network.abort_phase()
         if profile is not None:
             profile.abort_phase()
         raise
-    network.end_phase()
-    if profile is not None:
-        profile.end_phase()
     return results

@@ -238,21 +238,33 @@ def bench_joins(
                 per_mode[mode]["seconds"] = min(per_mode[mode]["seconds"], elapsed)
         for mode in (LOOP, FUSED):
             with use_scatter_mode(mode):
+                result = runners[mode]()
                 traffic = {
                     category.name: nbytes
                     for category, nbytes in sorted(
-                        runners[mode]().traffic.by_class.items(),
+                        result.traffic.by_class.items(),
                         key=lambda kv: kv[0].name,
                     )
                 }
+                retransmit = float(result.traffic.retransmit_bytes)
                 peak = peak_alloc(runners[mode]) if measure_memory else None
             per_mode[mode]["peak_bytes"] = peak
             per_mode[mode]["traffic"] = traffic
+            per_mode[mode]["retransmit_bytes"] = retransmit
         if per_mode[LOOP]["traffic"] != per_mode[FUSED]["traffic"]:
             raise AssertionError(
                 f"{label}: fused traffic diverged from loop reference: "
                 f"{per_mode[FUSED]['traffic']} != {per_mode[LOOP]['traffic']}"
             )
+        for mode in (LOOP, FUSED):
+            # The benches run without a fault plan, so any retransmitted
+            # byte means the fault-free fast path is paying recovery
+            # overhead it must provably never pay.
+            if per_mode[mode]["retransmit_bytes"] != 0.0:
+                raise AssertionError(
+                    f"{label}: fault-free run accounted "
+                    f"{per_mode[mode]['retransmit_bytes']} retransmitted bytes"
+                )
         results[label] = {
             "loop_seconds": per_mode[LOOP]["seconds"],
             "fused_seconds": per_mode[FUSED]["seconds"],
@@ -260,6 +272,7 @@ def bench_joins(
             "loop_peak_bytes": per_mode[LOOP]["peak_bytes"],
             "fused_peak_bytes": per_mode[FUSED]["peak_bytes"],
             "traffic_by_class": per_mode[FUSED]["traffic"],
+            "retransmit_bytes": per_mode[FUSED]["retransmit_bytes"],
         }
     return results
 
@@ -426,6 +439,8 @@ def bench_smoke(
     threshold: float = 2.0,
 ) -> int:
     """Tiny-scale gate: bench kernels + joins, write JSON, check baseline."""
+    from ..faults.chaos import chaos_summary
+
     kernels = bench_kernels(scaled_tuples, num_nodes, seed, repeats, warmup)
     joins = bench_joins(
         scaled_tuples, num_nodes, seed, repeats, warmup, measure_memory=False
@@ -433,6 +448,7 @@ def bench_smoke(
     scaling = bench_scaling(
         scaled_tuples, num_nodes, seed, repeats, warmup, worker_counts=(1, 2, 4)
     )
+    chaos = chaos_summary(seeds=(0, 1), num_nodes=4, worker_counts=(1, 2))
     payload = {
         "config": {
             "scaled_tuples": scaled_tuples,
@@ -444,6 +460,7 @@ def bench_smoke(
         "kernels": kernels,
         "joins": joins,
         "scaling": scaling,
+        "chaos": chaos,
         "analysis": lint_summary(),
     }
     write_report(out_path, payload)
@@ -453,15 +470,32 @@ def bench_smoke(
             f"  {label:7s} loop {row['loop_seconds']:.4f}s  "
             f"fused {row['fused_seconds']:.4f}s  ({row['speedup']:.2f}x)"
         )
+    print(
+        f"  chaos   {chaos['runs']} runs, "
+        f"{chaos['faults_injected']:.0f} faults injected, "
+        f"{chaos['retransmit_bytes']:.0f} bytes retransmitted"
+    )
+    failures = []
+    if not chaos["ok"]:
+        failures.append(f"chaos: {chaos['failures']} run(s) violated invariants")
+    # bench_joins already hard-fails on any fault-free retransmitted
+    # byte; re-assert here so the gate is visible in one place.
+    failures.extend(
+        f"{label}: fault-free retransmit_bytes = {row['retransmit_bytes']}"
+        for label, row in joins.items()
+        if row["retransmit_bytes"] != 0.0
+    )
     baseline_file = Path(baseline_path)
     if not baseline_file.exists() or not baseline_file.read_text().strip():
         print(f"no baseline at {baseline_path}; skipping regression check")
-        return 0
-    failures = check_regressions(
-        kernels, json.loads(baseline_file.read_text()), threshold
-    )
+    else:
+        failures.extend(
+            check_regressions(
+                kernels, json.loads(baseline_file.read_text()), threshold
+            )
+        )
     for failure in failures:
         print(f"REGRESSION {failure}")
     if not failures:
-        print(f"all kernels within {threshold}x of baseline")
+        print(f"all kernels within {threshold}x of baseline; chaos ok")
     return 1 if failures else 0

@@ -30,12 +30,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..cluster.network import TrafficLedger
-from ..costmodel.optimizer import choose_algorithm
+from ..cluster.network import MessageClass, TrafficLedger
+from ..costmodel.optimizer import choose_algorithm, fallback_algorithm
 from ..costmodel.stats import JoinStats
-from ..errors import ReproError
+from ..errors import FaultExhaustedError, ReproError
 from ..joins.base import JoinResult, JoinSpec
-from ..joins.registry import algorithm_names, create
+from ..joins.registry import algorithm, algorithm_names, create
 from ..joins.semijoin import SemiJoinFilteredJoin
 from ..storage.schema import Column, Schema
 from ..storage.table import DistributedTable, LocalPartition
@@ -329,8 +329,24 @@ class JoinOp(PhysicalOperator):
         if self.fused_rekey:
             self._note += f"; fused rekey on {self.rekey_on}"
 
+    #: Message classes only tracking-phase operators send; their fault
+    #: exhaustion is survivable by degrading to a non-tracking algorithm.
+    _TRACKING_CLASSES = (MessageClass.KEYS_COUNTS, MessageClass.KEYS_NODES)
+
     def execute(self, ctx: ExecutionContext) -> None:
         left, right = (ctx.tables[i] for i in self.inputs)
+        try:
+            self._run_operator(ctx, left, right)
+        except FaultExhaustedError as error:
+            fallback = self._degraded_algorithm(ctx, error)
+            if fallback is None:
+                raise
+            self.algorithm = fallback
+            self._run_operator(ctx, left, right)
+
+    def _run_operator(
+        self, ctx: ExecutionContext, left: DistributedTable, right: DistributedTable
+    ) -> None:
         operator = create(self.algorithm)
         if self.node.semijoin_filter:
             operator = SemiJoinFilteredJoin(operator)
@@ -339,6 +355,37 @@ class JoinOp(PhysicalOperator):
         ctx.tables[self.index] = _join_output_table(
             self._result, left, right, self.rekey_on
         )
+
+    def _degraded_algorithm(
+        self, ctx: ExecutionContext, error: FaultExhaustedError
+    ) -> str | None:
+        """Graceful degradation: the cheapest non-tracking fallback.
+
+        Applies only when the exhausted traffic is a tracking message
+        class and the chosen operator actually has a tracking phase — a
+        poisoned tuple class or a crash would fail any algorithm, so
+        those exhaustions propagate.  The fallback re-runs the join from
+        scratch (``DistributedJoin.run`` resets the cluster, rewinding
+        the fault injector to the identical seeded sequence), and the
+        downgrade is recorded in the operator's stats note.
+        """
+        if error.category not in self._TRACKING_CLASSES:
+            return None
+        if not algorithm(self.algorithm).tracking:
+            return None
+        stats = ctx.join_stats.get(self.index)
+        if stats is None:
+            left, right = (ctx.tables[i] for i in self.inputs)
+            stats = table_stats(left, right, ctx.spec)
+            ctx.join_stats[self.index] = stats
+        fallback = fallback_algorithm(stats)
+        if fallback is None or fallback.algorithm == self.algorithm:
+            return None
+        self._note += (
+            f"; degraded {self.algorithm}->{fallback.algorithm}: "
+            f"{error.category.value} traffic exhausted its fault budget"
+        )
+        return fallback.algorithm
 
     def account(self, ctx: ExecutionContext) -> None:
         ctx.traffic = ctx.traffic.merged_with(self._result.traffic)
@@ -411,16 +458,44 @@ class PhysicalPlan:
 
     operators: list[PhysicalOperator]
 
-    def run(self, cluster: Cluster, spec: JoinSpec | None = None) -> QueryResult:
-        """Drive every operator through plan → execute → account."""
+    def run(
+        self,
+        cluster: Cluster,
+        spec: JoinSpec | None = None,
+        operator_retries: int = 0,
+    ) -> QueryResult:
+        """Drive every operator through plan → execute → account.
+
+        Completed operator outputs in ``ctx.tables`` double as
+        checkpoints: an operator that fails with
+        :class:`~repro.errors.FaultExhaustedError` can be retried up to
+        ``operator_retries`` times without re-running anything upstream
+        (the cluster fabric is reset, which also rewinds a fault
+        injector to its seeded sequence).  A failed attempt accounted
+        nothing — ``execute`` raises before ``account`` folds traffic
+        or stats into the context — so retries never double-count.
+        """
         spec = spec or JoinSpec()
         if not spec.materialize:
             raise ReproError("query execution requires materialize=True")
+        if operator_retries < 0:
+            raise ReproError(
+                f"operator_retries must be >= 0, got {operator_retries}"
+            )
         ctx = ExecutionContext(cluster=cluster, spec=spec)
         for operator in self.operators:
-            operator.plan(ctx)
-            operator.execute(ctx)
-            operator.account(ctx)
+            attempt = 0
+            while True:
+                try:
+                    operator.plan(ctx)
+                    operator.execute(ctx)
+                    operator.account(ctx)
+                    break
+                except FaultExhaustedError:
+                    attempt += 1
+                    if attempt > operator_retries:
+                        raise
+                    cluster.reset()
         final = ctx.tables[self.operators[-1].index]
         return QueryResult(table=final, traffic=ctx.traffic, operators=ctx.operators)
 

@@ -199,6 +199,68 @@ class TestRep005WriteAfterSend:
         )
         assert codes_of(source) == []
 
+
+class TestRep006SwallowedException:
+    def test_bare_except_pass_fires(self):
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except:\n        pass\n"
+        )
+        assert codes_of(source) == ["REP006"]
+
+    def test_blanket_exception_without_reraise_fires(self):
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except Exception as exc:\n        log(exc)\n"
+        )
+        assert codes_of(source) == ["REP006"]
+
+    def test_base_exception_in_tuple_fires(self):
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except (KeyError, BaseException):\n        cleanup()\n"
+        )
+        assert codes_of(source) == ["REP006"]
+
+    def test_reraise_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except BaseException:\n"
+            "        cleanup()\n        raise\n"
+        )
+        assert codes_of(source) == []
+
+    def test_raise_from_wrapping_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except Exception as exc:\n"
+            "        raise ReproError('wrapped') from exc\n"
+        )
+        assert codes_of(source) == []
+
+    def test_narrow_handler_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except (ValueError, KeyError):\n        pass\n"
+        )
+        assert codes_of(source) == []
+
+    def test_conditional_reraise_is_clean(self):
+        """A re-raise anywhere in the handler body counts, even nested."""
+        source = (
+            "def f():\n"
+            "    try:\n        work()\n"
+            "    except Exception as exc:\n"
+            "        if fatal(exc):\n            raise\n"
+        )
+        assert codes_of(source) == []
+
     def test_mutation_before_send_is_clean(self):
         source = (
             "def f(net, buf):\n"
@@ -259,7 +321,9 @@ class TestEngineAndReporters:
         payload = json.loads(report.render_json())
         assert payload["diagnostics"] == 1
         assert payload["by_code"] == {"REP004": 1}
-        assert payload["rules"] == ["REP001", "REP002", "REP003", "REP004", "REP005"]
+        assert payload["rules"] == [
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+        ]
         assert payload["findings"][0]["code"] == "REP004"
         assert payload["findings"][0]["line"] == 2
 

@@ -83,6 +83,63 @@ class TestDrainCategory:
         assert drain_payloads(cluster, 0) == []
 
 
+class TestRequeueEdgeCases:
+    def test_requeue_empty_sequence_is_noop(self):
+        cluster = Cluster(2)
+        net = cluster.network
+        net.requeue(1, [])
+        assert net.pending_messages() == 0
+        assert net.deliver(1) == []
+
+    def test_requeue_during_open_phase_skips_staged_lanes(self):
+        """Requeued messages rejoin the committed inbox immediately;
+        messages staged in an open phase stay invisible until the
+        barrier commits them."""
+        cluster = Cluster(2)
+        net = cluster.network
+        net.send(0, 1, MessageClass.FILTER, 4.0, payload=_part(1))
+        drained = net.deliver(1)
+
+        lanes = net.begin_phase(1)
+        with net.bind_lane(lanes[0]):
+            net.send(0, 1, MessageClass.S_TUPLES, 8.0, payload=_part(2))
+        net.requeue(1, drained)
+        assert [m.category for m in net.deliver(1)] == [MessageClass.FILTER]
+        net.end_phase()
+        assert [m.category for m in net.deliver(1)] == [MessageClass.S_TUPLES]
+
+    def test_repeated_selective_drains_preserve_arrival_order(self):
+        """Messages that survive several selective drains keep their
+        original relative order within the inbox."""
+        cluster = Cluster(2)
+        net = cluster.network
+        for key in (1, 2, 3):
+            net.send(0, 1, MessageClass.S_TUPLES, 8.0, payload=_part(key))
+        net.send(0, 1, MessageClass.FILTER, 4.0, payload=_part(9))
+
+        for _ in range(3):  # each drain requeues all four survivors
+            assert drain_category(cluster, 1, MessageClass.R_TUPLES) == []
+        kept = drain_category(cluster, 1, MessageClass.S_TUPLES)
+        assert [p.keys.tolist() for p in kept] == [[1], [2], [3]]
+        assert [m.category for m in net.deliver(1)] == [MessageClass.FILTER]
+
+    def test_requeue_under_fault_plan_stays_idempotent(self):
+        """With an injector installed, a redelivery after requeue still
+        dedups and restores sequence order."""
+        from repro.faults import FaultPlan
+
+        cluster = Cluster(2, fault_plan=FaultPlan(seed=0, duplicate=1.0))
+        net = cluster.network
+        net.send(0, 1, MessageClass.R_TUPLES, 8.0, payload=_part(1))
+        net.send(0, 1, MessageClass.S_TUPLES, 8.0, payload=_part(2))
+
+        kept = drain_category(cluster, 1, MessageClass.R_TUPLES)
+        assert [p.keys.tolist() for p in kept] == [[1]]
+        survivors = net.deliver(1)
+        assert [m.category for m in survivors] == [MessageClass.S_TUPLES]
+        assert net.ledger.retransmit_count > 0
+
+
 class TestGather:
     def test_empty_nodes_get_schema_shaped_partitions(self):
         cluster = Cluster(3)

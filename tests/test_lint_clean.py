@@ -45,4 +45,5 @@ def test_lint_sweep_covers_the_whole_tree():
         "REP003",
         "REP004",
         "REP005",
+        "REP006",
     ]

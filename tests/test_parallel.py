@@ -15,7 +15,7 @@ import pytest
 
 from repro import Cluster, GraceHashJoin, TrackJoin4, BroadcastJoin
 from repro.cluster.network import MessageClass
-from repro.errors import ParallelError
+from repro.errors import FaultExhaustedError, ParallelError, ValidationError
 from repro.joins import LateMaterializationHashJoin, TrackingAwareHashJoin
 from repro.parallel import (
     ProcessExecutor,
@@ -34,6 +34,25 @@ from conftest import canonical_output, make_tables
 def _square(value: int) -> int:
     """Module-level so the process pool can pickle it."""
     return value * value
+
+
+def _die_once(args: tuple[str, int]) -> int:
+    """Kill the worker process the first time, succeed afterwards."""
+    import os
+
+    flag, value = args
+    if not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("dead")
+        os._exit(1)
+    return value * 2
+
+
+def _always_die(_value: int) -> None:
+    """A worker that never survives its task."""
+    import os
+
+    os._exit(1)
 
 
 # -- executors -----------------------------------------------------------
@@ -95,6 +114,57 @@ class TestExecutors:
         set_default_workers(None)
         monkeypatch.delenv(WORKERS_ENV, raising=False)
         assert default_workers() == 1
+
+    def test_malformed_env_falls_back_to_serial_with_warning(self, monkeypatch):
+        set_default_workers(None)
+        monkeypatch.setenv(WORKERS_ENV, "banana")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert default_workers() == 1
+        monkeypatch.setenv(WORKERS_ENV, "-3")
+        with pytest.warns(RuntimeWarning, match="must be >= 1"):
+            assert default_workers() == 1
+
+    def test_explicit_workers_validation(self):
+        with pytest.raises(ValidationError):
+            resolve_executor(0)
+        with pytest.raises(ValidationError):
+            resolve_executor("four")
+        with pytest.raises(ValidationError):
+            ThreadExecutor(workers=1.5)
+        with pytest.raises(ValidationError):
+            ProcessExecutor(workers=True)
+        with pytest.raises(ValidationError):
+            set_default_workers(-1)
+        # ValidationError still is a ValueError, so parsers that caught
+        # the builtin keep working.
+        with pytest.raises(ValueError):
+            resolve_executor(0)
+        # Integer-valued floats (a CLI parser artifact) are accepted.
+        assert resolve_executor(1.0).workers == 1
+
+
+class TestProcessSupervisor:
+    def test_dead_worker_respawns_and_resubmits(self, tmp_path):
+        executor = ProcessExecutor(workers=2, max_respawns=2)
+        flag = str(tmp_path / "worker-died")
+        try:
+            results = executor.map(_die_once, [(flag, i) for i in range(4)])
+        finally:
+            executor.close()
+        assert results == [0, 2, 4, 6]
+
+    def test_respawn_budget_exhaustion_raises(self):
+        executor = ProcessExecutor(workers=2, max_respawns=1)
+        try:
+            with pytest.raises(FaultExhaustedError) as excinfo:
+                executor.map(_always_die, range(2))
+        finally:
+            executor.close()
+        assert excinfo.value.attempts == 2
+
+    def test_negative_respawn_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            ProcessExecutor(workers=2, max_respawns=-1)
 
 
 # -- shared memory -------------------------------------------------------
