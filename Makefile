@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-full
+.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-scaling-smoke bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,13 @@ bench-smoke:
 # workload; merges a "scaling" section into BENCH_joins.json.
 bench-scaling:
 	$(PYTHON) -m repro bench-scaling
+
+# CI-sized scaling gate: tiny workload at 1/2/4 workers.  Fails on any
+# ledger divergence, missing phase-breakdown field, or (on hosts with
+# >= 4 cores) a below-threshold speedup; 1-core runners skip only the
+# speedup gate and still verify determinism.
+bench-scaling-smoke:
+	$(PYTHON) -m repro bench-scaling scaled_tuples=60000 repeats=2 warmup=1 worker_counts=1,2,4
 
 # Full Figure 3 workload at 1/256 paper scale (slow, ~minutes).
 bench-full:

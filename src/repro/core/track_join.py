@@ -202,14 +202,18 @@ def _execute_schedules(
 
     # ---- Phase A: migrations (4-phase only; sched.migrate is all-False
     # otherwise).  For RS keys the S side consolidates, for SR keys R.
-    for side, entry_mask in (
-        ("S", sched.migrate & entry_dir_rs),
-        ("R", sched.migrate & entry_dir_sr),
-    ):
-        _run_migrations(
-            cluster, spec, profile, tracking, seg, sched, side, entry_mask,
-            work, widths, key_width,
-        )
+    # The two directions touch disjoint holder lists (work["S"] vs
+    # work["R"]) and neither reads the other's sends, so a pipelined
+    # window may fuse them under one barrier.
+    with cluster.pipelined_phases():
+        for side, entry_mask in (
+            ("S", sched.migrate & entry_dir_rs),
+            ("R", sched.migrate & entry_dir_sr),
+        ):
+            _run_migrations(
+                cluster, spec, profile, tracking, seg, sched, side, entry_mask,
+                work, widths, key_width,
+            )
     # Consolidation barrier: moved tuples join their destination's local
     # fragment before the selective broadcasts run against it.
     absorb_received(
@@ -217,38 +221,44 @@ def _execute_schedules(
         {MessageClass.R_TUPLES: work["R"], MessageClass.S_TUPLES: work["S"]},
     )
 
-    # ---- Phase B: location messages + selective broadcasts.
+    # ---- Phase B: location messages + selective broadcasts.  The two
+    # directions read only coordinator state (tracking/schedules) and
+    # their side's consolidated fragments — never each other's sends —
+    # so a pipelined window may overlap one direction's broadcast with
+    # the other's translation work.  Location messages are coordinator
+    # sends and keep immediate semantics either way.
     not_migrating = ~sched.migrate
-    for b_side, t_side, key_is_this_dir in (
-        ("R", "S", entry_dir_rs),
-        ("S", "R", entry_dir_sr),
-    ):
-        has_b = has_r if b_side == "R" else has_s
-        has_t = has_s if b_side == "R" else has_r
-        b_idx = np.flatnonzero(key_is_this_dir & has_b)
-        d_idx = np.flatnonzero(key_is_this_dir & has_t & not_migrating)
-        if len(b_idx) == 0 or len(d_idx) == 0:
-            continue
-        seg_b = seg[b_idx]
-        ia, ib = segmented_cartesian(seg_b, seg[d_idx])
-        pair_src = tracking.nodes[b_idx][ia]
-        pair_dst = tracking.nodes[d_idx][ib]
-        pair_key = tracking.keys[b_idx][ia]
-        pair_t = tracking.t_nodes[seg_b][ia]
-        _locations(spec, key_width, f"Tran. {b_side} → {t_side} keys, nodes").run(
-            cluster, profile, pair_t, pair_src, pair_dst
-        )
-        SelectiveBroadcast(
-            category=categories[b_side],
-            width=widths[b_side],
-            match_width=key_width + spec.location_width,
-            transfer_step=f"Transfer {b_side} → {t_side} tuples",
-            copy_step=f"Local copy {b_side} → {t_side} tuples",
-            translate_step=(
-                f"Merge-join {b_side} → {t_side} keys, nodes ⇒ payloads "
-                "and partition by node"
-            ),
-        ).run(cluster, profile, work[b_side], pair_src, pair_dst, pair_key)
+    with cluster.pipelined_phases():
+        for b_side, t_side, key_is_this_dir in (
+            ("R", "S", entry_dir_rs),
+            ("S", "R", entry_dir_sr),
+        ):
+            has_b = has_r if b_side == "R" else has_s
+            has_t = has_s if b_side == "R" else has_r
+            b_idx = np.flatnonzero(key_is_this_dir & has_b)
+            d_idx = np.flatnonzero(key_is_this_dir & has_t & not_migrating)
+            if len(b_idx) == 0 or len(d_idx) == 0:
+                continue
+            seg_b = seg[b_idx]
+            ia, ib = segmented_cartesian(seg_b, seg[d_idx])
+            pair_src = tracking.nodes[b_idx][ia]
+            pair_dst = tracking.nodes[d_idx][ib]
+            pair_key = tracking.keys[b_idx][ia]
+            pair_t = tracking.t_nodes[seg_b][ia]
+            _locations(spec, key_width, f"Tran. {b_side} → {t_side} keys, nodes").run(
+                cluster, profile, pair_t, pair_src, pair_dst
+            )
+            SelectiveBroadcast(
+                category=categories[b_side],
+                width=widths[b_side],
+                match_width=key_width + spec.location_width,
+                transfer_step=f"Transfer {b_side} → {t_side} tuples",
+                copy_step=f"Local copy {b_side} → {t_side} tuples",
+                translate_step=(
+                    f"Merge-join {b_side} → {t_side} keys, nodes ⇒ payloads "
+                    "and partition by node"
+                ),
+            ).run(cluster, profile, work[b_side], pair_src, pair_dst, pair_key)
 
     # ---- Phase C: final local joins at every destination.
     def join_node(node: int) -> LocalPartition:

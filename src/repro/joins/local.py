@@ -11,6 +11,13 @@ so a partition that participates in several phases (tracking, broadcast
 matching, final merge-join) is sorted once and probed many times.  With
 the fused scatter path disabled (``repro.fastpath``), they fall back to
 the reference implementation that re-sorts on every call.
+
+On the fused path the probe side is chunk-parallel: the right side's
+lookup structure (direct-address table or sorted index) is built once
+on the calling thread, then left-key chunks probe it concurrently
+through :mod:`repro.parallel.chunks`.  Every probe path emits its pairs
+in ascending left order, so concatenating per-chunk results in chunk
+order reproduces the serial output bit for bit.
 """
 
 from __future__ import annotations
@@ -20,7 +27,9 @@ import threading
 import numpy as np
 
 from ..fastpath import fused_enabled
+from ..parallel import chunks
 from ..storage.table import KeyIndex, LocalPartition
+from ..util import segment_boundaries, segment_count
 
 __all__ = [
     "join_indices",
@@ -34,15 +43,58 @@ __all__ = [
 #: Direct addressing is attempted when the right key range is at most
 #: this many times the right row count (plus slack for tiny inputs).
 _DENSE_SPAN_FACTOR = 32
-#: Hard cap on the scratch lookup table (int32 entries).
+#: Hard cap on the scratch lookup tables (entries).
 _DENSE_SPAN_CAP = 1 << 27
 
-#: Reusable lookup scratch; every entry is -1 between calls, so a call
-#: only pays to scatter its own right keys in and back out instead of
-#: clearing the whole table with a fresh ``np.full``.  One scratch per
-#: thread: phase workers run local joins concurrently, and a shared
-#: table would let one thread's scatter corrupt another's probe.
+#: Reusable lookup scratch, one set per thread: phase workers run local
+#: joins concurrently, and a shared table would let one thread's scatter
+#: corrupt another's probe.  Chunked probes are safe against the owning
+#: thread's scratch because the tables are read-only while kernel
+#: subtasks probe them: build and reset both happen on the calling
+#: thread, before and after the chunk dispatch.
 _dense_tls = threading.local()
+
+
+def _dense_span(keys_right_min: int, keys_right_max: int, rows: int) -> int | None:
+    """Admissible direct-address span, or ``None`` when too sparse."""
+    span = keys_right_max - keys_right_min + 1
+    if span > min(_DENSE_SPAN_FACTOR * rows + 1024, _DENSE_SPAN_CAP):
+        return None
+    return span
+
+
+def _scratch(name: str, span: int, fill, dtype) -> np.ndarray:
+    """Thread-local scratch table of at least ``span`` entries.
+
+    Every entry holds ``fill`` between calls, so a call only pays to
+    scatter its own entries in and back out instead of clearing the
+    whole table.
+    """
+    table = getattr(_dense_tls, name, None)
+    if table is None or len(table) < span:
+        table = np.full(
+            max(span, 2 * len(table) if table is not None else 0), fill, dtype=dtype
+        )
+        setattr(_dense_tls, name, table)
+    return table[:span]
+
+
+def _probe_in_chunks(probe, n_left: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch ``probe(start, stop)`` over left-key chunks.
+
+    ``probe`` returns ``(left_idx, right_idx)`` with *global* left
+    indices for the given slice.  All probe paths emit pairs in
+    ascending left order, so per-chunk results concatenated in chunk
+    order equal the serial ``probe(0, n_left)`` bit for bit.
+    """
+    slices = chunks.chunked_slices(n_left)
+    if slices is None:
+        return probe(0, n_left)
+    parts = chunks.run_chunks(lambda bounds: probe(bounds[0], bounds[1]), slices)
+    return (
+        np.concatenate([left for left, _ in parts]),
+        np.concatenate([right for _, right in parts]),
+    )
 
 
 def _dense_unique_join(
@@ -57,18 +109,10 @@ def _dense_unique_join(
     are too sparse or contain duplicates.
     """
     base = int(keys_right.min())
-    span = int(keys_right.max()) - base + 1
-    if span > min(_DENSE_SPAN_FACTOR * len(keys_right) + 1024, _DENSE_SPAN_CAP):
+    span = _dense_span(base, int(keys_right.max()), len(keys_right))
+    if span is None:
         return None
-    scratch = getattr(_dense_tls, "scratch", None)
-    if scratch is None or len(scratch) < span:
-        scratch = np.full(
-            max(span, 2 * len(scratch) if scratch is not None else 0),
-            -1,
-            dtype=np.int32,
-        )
-        _dense_tls.scratch = scratch
-    lookup = scratch[:span]
+    lookup = _scratch("scratch", span, -1, np.int32)
     shifted_right = keys_right - base
     right_ids = np.arange(len(keys_right), dtype=np.int32)
     lookup[shifted_right] = right_ids
@@ -78,14 +122,119 @@ def _dense_unique_join(
     if not bool((lookup[shifted_right] == right_ids).all()):
         lookup[shifted_right] = -1
         return None
-    shifted = keys_left - base
-    in_range = (shifted >= 0) & (shifted < span)
-    candidate = lookup[np.where(in_range, shifted, 0)]
-    hit = in_range & (candidate >= 0)
-    left_idx = np.flatnonzero(hit)
-    right_idx = candidate[left_idx].astype(np.int64)
-    lookup[shifted_right] = -1
-    return left_idx, right_idx
+
+    def probe(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        shifted = keys_left[start:stop] - base
+        in_range = (shifted >= 0) & (shifted < span)
+        candidate = lookup[np.where(in_range, shifted, 0)]
+        hit = in_range & (candidate >= 0)
+        left_idx = np.flatnonzero(hit)
+        right_idx = candidate[left_idx].astype(np.int64)
+        return left_idx + start, right_idx
+
+    try:
+        return _probe_in_chunks(probe, len(keys_left))
+    finally:
+        lookup[shifted_right] = -1
+
+
+def _dense_indexed_join(
+    keys_left: np.ndarray, order_right: np.ndarray, sorted_right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Direct-address probe against a sorted right index with duplicates.
+
+    Run-start positions and run lengths of the sorted right keys scatter
+    into two span-sized tables, replacing both binary searches of the
+    general path with one gather each.  The emitted pairs match the
+    searchsorted path exactly: for a present key the tables hold the
+    ``lo`` offset and ``hi - lo`` count that path would compute, and the
+    expansion enumerates the run in the same sorted-right order.
+    Returns ``None`` when the right keys are too sparse.
+    """
+    base = int(sorted_right[0])
+    span = _dense_span(base, int(sorted_right[-1]), len(sorted_right))
+    if span is None:
+        return None
+    run_starts = segment_boundaries(sorted_right)
+    run_counts = segment_count(run_starts, len(sorted_right))
+    distinct_shifted = sorted_right[run_starts] - base
+    start_table = _scratch("run_starts", span, 0, np.int64)
+    count_table = _scratch("run_counts", span, 0, np.int64)
+    start_table[distinct_shifted] = run_starts
+    count_table[distinct_shifted] = run_counts
+
+    def probe(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        chunk = keys_left[start:stop]
+        shifted = chunk - base
+        in_range = (shifted >= 0) & (shifted < span)
+        safe = np.where(in_range, shifted, 0)
+        counts = np.where(in_range, count_table[safe], 0)
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        left_local = np.repeat(np.arange(len(chunk), dtype=np.int64), counts)
+        offsets = np.arange(total, dtype=np.int64) - (
+            np.cumsum(counts) - counts
+        )[left_local]
+        right_idx = order_right[start_table[safe][left_local] + offsets]
+        return left_local + start, right_idx
+
+    try:
+        return _probe_in_chunks(probe, len(keys_left))
+    finally:
+        count_table[distinct_shifted] = 0
+
+
+def _probe_unique_sorted(
+    keys_left: np.ndarray, order_right: np.ndarray, sorted_right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-probe path: each left key matches at most one right row,
+    so one searchsorted plus an equality check replaces the
+    lo/hi/repeat expansion machinery."""
+
+    def probe(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        chunk = keys_left[start:stop]
+        lo = np.searchsorted(sorted_right, chunk, side="left")
+        clipped = np.minimum(lo, len(sorted_right) - 1)
+        hit = sorted_right[clipped] == chunk
+        left_idx = np.flatnonzero(hit)
+        right_idx = order_right[clipped[left_idx]]
+        return left_idx + start, right_idx
+
+    return _probe_in_chunks(probe, len(keys_left))
+
+
+def _probe_general_sorted(
+    keys_left: np.ndarray, order_right: np.ndarray, sorted_right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """General sorted-probe path with per-key cartesian expansion.
+
+    The expansion uses one ``repeat`` plus gathers by the expanded left
+    id instead of the three-``repeat`` formulation of the loop
+    reference: ``repeat(lo, counts) == lo[left_local]`` and
+    ``repeat(cumsum(counts) - counts, counts) == (cumsum(counts) -
+    counts)[left_local]``, so the emitted pairs are bit-identical while
+    the two widest materializations become cache-friendly gathers.
+    """
+
+    def probe(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        chunk = keys_left[start:stop]
+        lo = np.searchsorted(sorted_right, chunk, side="left")
+        hi = np.searchsorted(sorted_right, chunk, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        left_local = np.repeat(np.arange(len(chunk), dtype=np.int64), counts)
+        offsets = np.arange(total, dtype=np.int64) - (
+            np.cumsum(counts) - counts
+        )[left_local]
+        right_idx = order_right[lo[left_local] + offsets]
+        return left_local + start, right_idx
+
+    return _probe_in_chunks(probe, len(keys_left))
 
 
 def join_indices(
@@ -123,10 +272,9 @@ def join_indices(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     if not fused_enabled():
-        right_index = None
-        right_partition = None
+        return _reference_join(keys_left, keys_right)
     if right_index is None:
-        dense = _dense_unique_join(keys_left, keys_right) if fused_enabled() else None
+        dense = _dense_unique_join(keys_left, keys_right)
         if dense is not None:
             return dense
         if right_partition is not None:
@@ -138,19 +286,28 @@ def join_indices(
     else:
         order_right = np.argsort(keys_right, kind="stable")
         sorted_right = keys_right[order_right]
-        right_unique = fused_enabled() and (
-            len(sorted_right) <= 1 or bool((sorted_right[1:] != sorted_right[:-1]).all())
+        right_unique = len(sorted_right) <= 1 or bool(
+            (sorted_right[1:] != sorted_right[:-1]).all()
         )
     if right_unique:
-        # Single-probe path: each left key matches at most one right row,
-        # so one searchsorted plus an equality check replaces the
-        # lo/hi/repeat expansion machinery.
-        lo = np.searchsorted(sorted_right, keys_left, side="left")
-        clipped = np.minimum(lo, len(sorted_right) - 1)
-        hit = sorted_right[clipped] == keys_left
-        left_idx = np.flatnonzero(hit)
-        right_idx = order_right[clipped[left_idx]]
-        return left_idx, right_idx
+        return _probe_unique_sorted(keys_left, order_right, sorted_right)
+    dense = _dense_indexed_join(keys_left, order_right, sorted_right)
+    if dense is not None:
+        return dense
+    return _probe_general_sorted(keys_left, order_right, sorted_right)
+
+
+def _reference_join(
+    keys_left: np.ndarray, keys_right: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Loop-mode reference: re-sort and expand with explicit repeats.
+
+    Deliberately kept as the simplest correct formulation; every fused
+    path above must reproduce its output row set exactly (the
+    equivalence suites compare against this).
+    """
+    order_right = np.argsort(keys_right, kind="stable")
+    sorted_right = keys_right[order_right]
     lo = np.searchsorted(sorted_right, keys_left, side="left")
     hi = np.searchsorted(sorted_right, keys_left, side="right")
     counts = hi - lo
@@ -179,7 +336,8 @@ def local_join(
     Output columns are the join key plus both sides' payload columns,
     name-prefixed to avoid collisions.  On the fused path the right
     partition's cached key index is (built and) reused, so joining the
-    same partition repeatedly never re-sorts it.
+    same partition repeatedly never re-sorts it; payload gathers chunk
+    over the output rows when kernel parallelism is on.
     """
     right_partition = None
     if fused_enabled() and right.num_rows and left.num_rows:
@@ -189,10 +347,12 @@ def local_join(
     )
     columns: dict[str, np.ndarray] = {}
     for name, values in left.columns.items():
-        columns[left_prefix + name] = values[left_idx]
+        columns[left_prefix + name] = chunks.chunked_gather(values, left_idx)
     for name, values in right.columns.items():
-        columns[right_prefix + name] = values[right_idx]
-    return LocalPartition(keys=left.keys[left_idx], columns=columns)
+        columns[right_prefix + name] = chunks.chunked_gather(values, right_idx)
+    return LocalPartition(
+        keys=chunks.chunked_gather(left.keys, left_idx), columns=columns
+    )
 
 
 def join_cardinality(keys_left: np.ndarray, keys_right: np.ndarray) -> int:

@@ -1,5 +1,12 @@
 """Parallel execution engine: worker pools, phase barriers, shared memory."""
 
+from .chunks import (
+    kernel_chunk_rows,
+    kernel_config,
+    kernel_workers,
+    set_kernel_chunk_rows,
+    set_kernel_workers,
+)
 from .executor import (
     PhaseExecutor,
     ProcessExecutor,
@@ -7,6 +14,7 @@ from .executor import (
     ThreadExecutor,
     default_workers,
     resolve_executor,
+    run_fused_phases,
     run_phase,
     set_default_workers,
 )
@@ -22,4 +30,10 @@ __all__ = [
     "set_default_workers",
     "resolve_executor",
     "run_phase",
+    "run_fused_phases",
+    "kernel_workers",
+    "set_kernel_workers",
+    "kernel_chunk_rows",
+    "set_kernel_chunk_rows",
+    "kernel_config",
 ]

@@ -40,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
 
 from ..errors import FaultExhaustedError, NodeCrashError, ParallelError, ValidationError
+from ..timing.clock import wall_clock
 
 __all__ = [
     "PhaseExecutor",
@@ -50,6 +51,7 @@ __all__ = [
     "set_default_workers",
     "resolve_executor",
     "run_phase",
+    "run_fused_phases",
 ]
 
 #: Environment variable consulted for the default worker count.
@@ -180,6 +182,15 @@ class ThreadExecutor(PhaseExecutor):
             self._pool = None
 
 
+def _run_batch(fn: Callable, items: list) -> list:
+    """Worker-side body of one :class:`ProcessExecutor` batch.
+
+    Module-level so it pickles; applies ``fn`` to each item inline and
+    ships all results back in one IPC round trip.
+    """
+    return [fn(item) for item in items]
+
+
 class ProcessExecutor(PhaseExecutor):
     """Process-pool execution for picklable, payload-heavy task functions.
 
@@ -187,26 +198,46 @@ class ProcessExecutor(PhaseExecutor):
     handles so workers attach to the same memory instead of receiving
     pickled copies.
 
+    Tasks are submitted in contiguous *batches* — one future per worker
+    rather than one per item — so a phase pays one pickle/IPC round trip
+    per worker instead of per task.  ``batch_size`` overrides the batch
+    length (default: items split evenly across workers).  Results are
+    still returned in item order.
+
     A supervisor watches for dead workers: when the pool breaks (a
     worker process died mid-task), the pool is respawned and only the
-    unfinished tasks are resubmitted, up to ``max_respawns`` times
-    before a :class:`~repro.errors.FaultExhaustedError` propagates.
-    Task functions must therefore be safe to re-execute (the phase
-    tasks are: they produce results, they don't mutate shared state
-    before the barrier).
+    batches that never produced results are resubmitted, up to
+    ``max_respawns`` times before a
+    :class:`~repro.errors.FaultExhaustedError` propagates.  Task
+    functions must therefore be safe to re-execute (the phase tasks
+    are: they produce results, they don't mutate shared state before
+    the barrier).
     """
 
-    def __init__(self, workers: int, max_respawns: int = 2):
+    def __init__(
+        self, workers: int, max_respawns: int = 2, batch_size: int | None = None
+    ):
         self.workers = _check_workers(workers)
         if max_respawns < 0:
             raise ValidationError(f"max_respawns must be >= 0, got {max_respawns}")
         self.max_respawns = max_respawns
+        self.batch_size = None if batch_size is None else _check_workers(batch_size)
         self._pool: ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
+
+    def _batches(self, indices: list[int]) -> list[list[int]]:
+        """Contiguous index batches, at most one per worker by default."""
+        if not indices:
+            return []
+        if self.batch_size is not None:
+            size = self.batch_size
+        else:
+            size = -(-len(indices) // self.workers)
+        return [indices[i : i + size] for i in range(0, len(indices), size)]
 
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
@@ -215,17 +246,22 @@ class ProcessExecutor(PhaseExecutor):
         respawns = 0
         while pending:
             pool = self._ensure_pool()
-            futures = {index: pool.submit(fn, items[index]) for index in pending}
+            batches = self._batches(pending)
+            futures = [
+                (batch, pool.submit(_run_batch, fn, [items[i] for i in batch]))
+                for batch in batches
+            ]
             failed: list[int] = []
-            for index in pending:
+            for batch, future in futures:
                 try:
-                    results[index] = futures[index].result()
+                    for index, value in zip(batch, future.result()):
+                        results[index] = value
                 except BrokenProcessPool:
-                    failed.append(index)
+                    failed.extend(batch)
             if not failed:
                 break
             # A worker died: discard the broken pool, respawn, and
-            # resubmit only the tasks that never produced a result.
+            # resubmit only the batches that never produced results.
             self.close()
             respawns += 1
             if respawns > self.max_respawns:
@@ -282,6 +318,15 @@ class _CrashedTask:
         self.error = error
 
 
+def _stage_indices(cluster, tasks) -> Sequence[int]:
+    """Resolve one stage's ``tasks`` argument to an index sequence."""
+    if tasks is None:
+        return range(cluster.num_nodes)
+    if isinstance(tasks, int):
+        return range(tasks)
+    return list(tasks)
+
+
 def run_phase(
     cluster,
     fn: Callable[[int], object],
@@ -317,52 +362,131 @@ def run_phase(
 
     Returns the task results in task order.
     """
+    return _run_phase_group(
+        cluster, [(fn, tasks, task_nodes)], profile=profile, executor=executor
+    )[0]
+
+
+def run_fused_phases(
+    cluster,
+    stages: Sequence[tuple],
+    profile=None,
+    executor: PhaseExecutor | None = None,
+) -> list[list]:
+    """Run several phases' stages under one shared barrier.
+
+    ``stages`` is a sequence of ``(fn, tasks, task_nodes)`` triples, each
+    exactly the arguments one :func:`run_phase` call would have taken.
+    All stages' tasks are dispatched to the executor together and commit
+    at a single barrier, so a later stage's local work overlaps an
+    earlier stage's sends — the pipelined-exchange mode
+    (:meth:`repro.cluster.cluster.Cluster.pipelined_phases`).
+
+    Deterministic state is preserved exactly as in :func:`run_phase`:
+    lanes are committed in stage-major task order, so each category's
+    inbox arrival order and the ledger sums match the strict
+    phase-per-stage execution.  (Message sequence numbers and profile
+    *step order* may differ from strict mode, which is why pipelining is
+    an explicit opt-in.)  Tasks of a fused group must not depend on an
+    earlier stage's sends — those are only delivered at the shared
+    barrier — nor on its results.
+
+    Fault injection requires strict phase sequencing, so fusing more
+    than one stage while a fault plan is installed raises
+    :class:`~repro.errors.ParallelError`; callers gate on
+    ``cluster.pipeline_active()``.
+
+    Returns one result list per stage, in stage order.
+    """
+    return _run_phase_group(cluster, stages, profile=profile, executor=executor)
+
+
+def _run_phase_group(
+    cluster,
+    stages: Sequence[tuple],
+    profile=None,
+    executor: PhaseExecutor | None = None,
+) -> list[list]:
     executor = executor or cluster.executor
     network = cluster.network
-    if tasks is None:
-        indices: Sequence[int] = range(cluster.num_nodes)
-    elif isinstance(tasks, int):
-        indices = range(tasks)
-    else:
-        indices = list(tasks)
-    count = len(indices)
     injector = getattr(network, "faults", None)
-    nodes: Sequence[int] | None
-    if task_nodes is not None:
-        nodes = list(task_nodes)
-        if len(nodes) != count:
-            raise ParallelError(
-                f"task_nodes has {len(nodes)} entries for {count} tasks"
-            )
-    elif tasks is None:
-        nodes = list(indices)
-    else:
-        nodes = None
+    if injector is not None and len(stages) > 1:
+        raise ParallelError(
+            "cannot fuse phases while a fault plan is installed; "
+            "pipelining must fall back to strict barriers under faults"
+        )
+
+    # Flatten stage tasks into global lane positions, stage-major: the
+    # barrier commits lanes in this order, which equals the order the
+    # strict per-stage execution would have committed them in.
+    stage_indices: list[Sequence[int]] = []
+    stage_offsets: list[int] = []
+    flat_fns: list[Callable[[int], object]] = []
+    nodes: list[int | None] = []
+    count = 0
+    for fn, tasks, task_nodes in stages:
+        indices = _stage_indices(cluster, tasks)
+        if task_nodes is not None:
+            task_nodes = list(task_nodes)
+            if len(task_nodes) != len(indices):
+                raise ParallelError(
+                    f"task_nodes has {len(task_nodes)} entries "
+                    f"for {len(indices)} tasks"
+                )
+            nodes.extend(task_nodes)
+        elif tasks is None:
+            nodes.extend(indices)
+        else:
+            nodes.extend([None] * len(indices))
+        stage_indices.append(indices)
+        stage_offsets.append(count)
+        flat_fns.append(fn)
+        count += len(indices)
+
+    entry_time = wall_clock()
+    starts = [0.0] * count
+    ends = [0.0] * count
     lanes = network.begin_phase(count)
     profile_lanes = profile.begin_phase(count) if profile is not None else None
 
-    def task(position: int):
-        index = indices[position]
-        with network.bind_lane(lanes[position]):
-            if profile_lanes is None:
-                return fn(index)
-            with profile.bind_lane(profile_lanes[position]):
-                return fn(index)
+    def position_stage(position: int) -> int:
+        stage = len(stage_offsets) - 1
+        while stage_offsets[stage] > position:
+            stage -= 1
+        return stage
 
-    if injector is None or nodes is None:
+    def task(position: int):
+        stage = position_stage(position)
+        fn = flat_fns[stage]
+        index = stage_indices[stage][position - stage_offsets[stage]]
+        starts[position] = wall_clock()
+        try:
+            with network.bind_lane(lanes[position]):
+                if profile_lanes is None:
+                    return fn(index)
+                with profile.bind_lane(profile_lanes[position]):
+                    return fn(index)
+        finally:
+            ends[position] = wall_clock()
+
+    injected = injector is not None and any(node is not None for node in nodes)
+    if not injected:
         guarded = task
     else:
 
         def guarded(position: int):
-            try:
-                injector.maybe_crash(nodes[position])
-            except NodeCrashError as error:
-                return _CrashedTask(error)
+            node = nodes[position]
+            if node is not None:
+                try:
+                    injector.maybe_crash(node)
+                except NodeCrashError as error:
+                    return _CrashedTask(error)
             return task(position)
 
     try:
         results = executor.map(guarded, range(count))
-        if injector is not None and nodes is not None:
+        map_end = wall_clock()
+        if injected:
             restarts: dict[int, int] = {}
             for position, result in enumerate(results):
                 while isinstance(result, _CrashedTask):
@@ -389,6 +513,7 @@ def run_phase(
                     # empty) lane so commit order is unchanged.
                     result = task(position)
                 results[position] = result
+        commit_start = wall_clock()
         network.end_phase()
         if profile is not None:
             profile.end_phase()
@@ -397,4 +522,27 @@ def run_phase(
         if profile is not None:
             profile.abort_phase()
         raise
-    return results
+    exit_time = wall_clock()
+    if profile is not None:
+        profile.record_phase_timing(
+            {
+                "tasks": count,
+                "stages": len(stages),
+                "workers": executor.workers,
+                "dispatch_seconds": max(0.0, min(starts) - entry_time)
+                if count
+                else 0.0,
+                "kernel_seconds": sum(
+                    max(0.0, end - start) for start, end in zip(starts, ends)
+                ),
+                "barrier_wait_seconds": max(0.0, map_end - max(ends))
+                if count
+                else 0.0,
+                "commit_seconds": exit_time - commit_start,
+                "phase_seconds": exit_time - entry_time,
+            }
+        )
+    return [
+        results[offset : offset + len(indices)]
+        for offset, indices in zip(stage_offsets, stage_indices)
+    ]

@@ -8,8 +8,10 @@ from .bench import (
     bench_smoke,
     best_time,
     check_regressions,
+    check_scaling,
     lint_summary,
     peak_alloc,
+    peak_rss_bytes,
     write_report,
 )
 
@@ -21,7 +23,9 @@ __all__ = [
     "bench_smoke",
     "best_time",
     "check_regressions",
+    "check_scaling",
     "lint_summary",
     "peak_alloc",
+    "peak_rss_bytes",
     "write_report",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 import tracemalloc
 from pathlib import Path
@@ -47,12 +48,14 @@ from ..workloads.synthetic import unique_keys_workload
 __all__ = [
     "best_time",
     "peak_alloc",
+    "peak_rss_bytes",
     "bench_kernels",
     "bench_joins",
     "bench_scaling",
     "bench_scaling_report",
     "bench_smoke",
     "check_regressions",
+    "check_scaling",
     "lint_summary",
     "write_report",
 ]
@@ -283,6 +286,11 @@ SCALING_ALGORITHMS = (
     ("HJ", lambda: create("HJ")),
 )
 
+#: Required end-to-end speedup at :data:`SCALING_GATE_WORKERS` workers,
+#: enforced only on hosts with at least that many cores.
+SCALING_GATE_WORKERS = 4
+SCALING_GATE_THRESHOLDS = {"4TJ": 2.0, "HJ": 1.5}
+
 
 def bench_scaling(
     scaled_tuples: int = 250_000,
@@ -292,23 +300,44 @@ def bench_scaling(
     warmup: int = 1,
     worker_counts=(1, 2, 4, 8),
     algorithms=SCALING_ALGORITHMS,
+    pipeline_depth: int = 2,
 ) -> dict:
     """Wall-clock scaling curve of whole joins across worker counts.
 
     Each algorithm runs the Fig. 3 workload once per worker count (best
-    of ``repeats``), on the fused path.  Every run's traffic ledger —
-    per-class and per-link — must be byte-identical to the serial
-    (1-worker) reference; a divergence raises, because a scaling number
-    for a run that computed something different is meaningless.
+    of ``repeats``), on the fused path with kernel chunking matched to
+    the worker count and exchange pipelining at ``pipeline_depth``
+    (serial runs keep strict barriers as the reference).  Every run's
+    traffic ledger — per-class and per-link — and its output row count
+    must be identical to the serial (1-worker) reference; a divergence
+    raises, because a scaling number for a run that computed something
+    different is meaningless.
 
-    ``host_cpus`` is recorded alongside the curve: speedups are bounded
-    by the physical cores of the benchmark box, so a 1-core host
-    reports a flat curve no matter how sound the engine is.
+    ``host_cpus`` is recorded alongside the curve, and
+    ``effective_parallelism`` annotates how many of each run's workers
+    can actually execute concurrently: speedups are bounded by the
+    physical cores of the benchmark box, so a 1-core host reports a
+    flat curve no matter how sound the engine is.  The per-algorithm
+    ``scaling_gate`` entry therefore only demands its threshold
+    speedup when the host has at least :data:`SCALING_GATE_WORKERS`
+    cores; otherwise the gate records why it was skipped.
+
+    Each worker count also records the final run's wall-clock phase
+    breakdown (dispatch / kernel / barrier-wait / commit seconds from
+    :meth:`~repro.timing.profile.ExecutionProfile.timing_totals`) under
+    ``phase_breakdown``.
     """
+    from ..parallel import chunks
+
     spec = _bench_spec()
+    host_cpus = os.cpu_count() or 1
     report: dict = {
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
         "worker_counts": [int(w) for w in worker_counts],
+        "pipeline_depth": pipeline_depth,
+        "effective_parallelism": {
+            str(int(w)): min(int(w), host_cpus) for w in worker_counts
+        },
         "config": {
             "scaled_tuples": scaled_tuples,
             "num_nodes": num_nodes,
@@ -324,18 +353,29 @@ def bench_scaling(
                 num_nodes=num_nodes, scaled_tuples=scaled_tuples, seed=seed
             )
             seconds: dict[str, float] = {}
+            breakdown: dict[str, dict] = {}
             reference_ledger = None
+            reference_rows = None
             try:
                 for workers in worker_counts:
-                    workload.cluster.set_workers(int(workers))
+                    workers = int(workers)
+                    workload.cluster.set_workers(workers)
+                    # Serial runs keep strict barriers and serial
+                    # kernels: they are the reference the parallel
+                    # runs must reproduce byte-for-byte.
+                    workload.cluster.set_pipeline_depth(
+                        pipeline_depth if workers > 1 else 1
+                    )
+                    chunks.set_kernel_workers(workers)
 
                     def run():
                         return factory().run(
                             workload.cluster, workload.table_r, workload.table_s, spec
                         )
 
-                    seconds[str(int(workers))] = best_time(run, repeats, warmup)
+                    seconds[str(workers)] = best_time(run, repeats, warmup)
                     result = run()
+                    breakdown[str(workers)] = result.profile.timing_totals()
                     ledger = (
                         sorted(
                             (c.name, b) for c, b in result.traffic.by_class.items()
@@ -344,23 +384,101 @@ def bench_scaling(
                     )
                     if reference_ledger is None:
                         reference_ledger = ledger
+                        reference_rows = result.output_rows
                     elif ledger != reference_ledger:
                         raise AssertionError(
                             f"{label}: ledger with {workers} workers diverged "
                             "from the serial reference"
                         )
+                    elif result.output_rows != reference_rows:
+                        raise AssertionError(
+                            f"{label}: {workers}-worker run produced "
+                            f"{result.output_rows} rows, serial reference "
+                            f"produced {reference_rows}"
+                        )
             finally:
                 workload.cluster.set_workers(1)
+                workload.cluster.set_pipeline_depth(1)
+                chunks.set_kernel_workers(None)
             base = seconds[str(int(worker_counts[0]))]
+            speedups = {
+                w: (base / s if s > 0 else float("inf")) for w, s in seconds.items()
+            }
             report["algorithms"][label] = {
                 "seconds": seconds,
-                "speedup_vs_1": {
-                    w: (base / s if s > 0 else float("inf"))
-                    for w, s in seconds.items()
-                },
+                "speedup_vs_1": speedups,
                 "ledger_identical": True,
+                "output_rows": reference_rows,
+                "phase_breakdown": breakdown,
+                "scaling_gate": _scaling_gate(label, speedups, host_cpus),
             }
     return report
+
+
+def _scaling_gate(label: str, speedups: dict[str, float], host_cpus: int) -> dict:
+    """Per-algorithm speedup gate, skipped on under-provisioned hosts."""
+    workers = SCALING_GATE_WORKERS
+    threshold = SCALING_GATE_THRESHOLDS.get(label)
+    gate: dict = {"workers": workers, "threshold": threshold}
+    if threshold is None:
+        gate.update(checked=False, reason=f"no threshold registered for {label}")
+        return gate
+    if str(workers) not in speedups:
+        gate.update(
+            checked=False, reason=f"{workers} workers not in the measured curve"
+        )
+        return gate
+    gate["speedup"] = speedups[str(workers)]
+    if host_cpus < workers:
+        gate.update(
+            checked=False,
+            reason=(
+                f"host has {host_cpus} core(s); "
+                f"{workers}-worker speedup is core-bound, not engine-bound"
+            ),
+        )
+        return gate
+    gate.update(checked=True, passed=gate["speedup"] >= threshold)
+    return gate
+
+
+#: Phase-breakdown fields every scaling run must report.
+PHASE_BREAKDOWN_FIELDS = (
+    "dispatch_seconds",
+    "kernel_seconds",
+    "barrier_wait_seconds",
+    "commit_seconds",
+)
+
+
+def check_scaling(scaling: dict) -> list[str]:
+    """Gate failures of one :func:`bench_scaling` report.
+
+    Checks that every curve kept ledger identity, that the per-phase
+    wall-clock breakdown fields are present for every worker count, and
+    that each checked ``scaling_gate`` met its threshold (gates skipped
+    on under-provisioned hosts are not failures — the recorded reason
+    says why).
+    """
+    failures: list[str] = []
+    for label, row in scaling.get("algorithms", {}).items():
+        if not row.get("ledger_identical"):
+            failures.append(f"{label}: scaling runs did not keep ledger identity")
+        for workers, totals in row.get("phase_breakdown", {}).items():
+            missing = [f for f in PHASE_BREAKDOWN_FIELDS if f not in totals]
+            if missing:
+                failures.append(
+                    f"{label}: {workers}-worker phase breakdown is missing "
+                    f"{', '.join(missing)}"
+                )
+        gate = row.get("scaling_gate", {})
+        if gate.get("checked") and not gate.get("passed"):
+            failures.append(
+                f"{label}: speedup {gate['speedup']:.2f}x at "
+                f"{gate['workers']} workers is below the required "
+                f"{gate['threshold']:.2f}x"
+            )
+    return failures
 
 
 def bench_scaling_report(
@@ -371,8 +489,16 @@ def bench_scaling_report(
 
     Other keys of an existing report (kernels, joins) are preserved, so
     ``bench-smoke`` followed by ``bench-scaling`` yields one combined
-    ``BENCH_joins.json``.
+    ``BENCH_joins.json``.  Returns non-zero when :func:`check_scaling`
+    finds a gate failure.
     """
+    if isinstance(kwargs.get("worker_counts"), str):
+        # CLI form: bench-scaling worker_counts=1,2,4
+        kwargs["worker_counts"] = tuple(
+            int(w) for w in kwargs["worker_counts"].split(",")
+        )
+    elif isinstance(kwargs.get("worker_counts"), int):
+        kwargs["worker_counts"] = (kwargs["worker_counts"],)
     scaling = bench_scaling(**kwargs)
     out_file = Path(out_path)
     payload = {}
@@ -387,7 +513,19 @@ def bench_scaling_report(
             for w in row["seconds"]
         )
         print(f"  {label:7s} {curve}")
-    return 0
+        gate = row["scaling_gate"]
+        if gate.get("checked"):
+            verdict = "pass" if gate["passed"] else "FAIL"
+            print(
+                f"          gate: {gate['speedup']:.2f}x >= "
+                f"{gate['threshold']:.2f}x @ {gate['workers']}w ... {verdict}"
+            )
+        else:
+            print(f"          gate skipped: {gate.get('reason')}")
+    failures = check_scaling(scaling)
+    for failure in failures:
+        print(f"REGRESSION {failure}")
+    return 1 if failures else 0
 
 
 def write_report(path: str | Path, payload: dict) -> None:
@@ -409,10 +547,36 @@ def lint_summary() -> dict:
     return lint_paths([package_dir]).summary()
 
 
+def peak_rss_bytes() -> int | None:
+    """Peak resident-set size of this process, or ``None`` if unknown.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; the monotone
+    high-water mark covers the whole process lifetime, so it brackets
+    every bench run executed so far.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
 def check_regressions(
-    kernels: dict, baseline: dict, threshold: float = 2.0
+    kernels: dict,
+    baseline: dict,
+    threshold: float = 2.0,
+    joins: dict | None = None,
 ) -> list[str]:
-    """Fused kernels slower than ``threshold``x their committed baseline."""
+    """Fused kernels/joins worse than ``threshold``x their baseline.
+
+    Covers wall-clock for every baseline kernel and — when both sides
+    measured it — fused peak allocation for every baseline join, so a
+    change that trades the traffic ledger's determinism-friendly
+    materializations for bloated intermediates fails the same gate as a
+    slowdown.  Null peaks (benches run with ``measure_memory=False``)
+    skip the memory comparison rather than failing it.
+    """
     failures = []
     for name, entry in baseline.get("kernels", {}).items():
         current = kernels.get(name)
@@ -425,6 +589,23 @@ def check_regressions(
                 f"{name}: fused {current['fused_seconds']:.6f}s exceeds "
                 f"{threshold}x baseline {entry['fused_seconds']:.6f}s"
             )
+    if joins is not None:
+        for name, entry in baseline.get("joins", {}).items():
+            base_peak = entry.get("fused_peak_bytes")
+            current = joins.get(name)
+            if base_peak is None or current is None:
+                continue
+            peak = current.get("fused_peak_bytes")
+            if peak is None:
+                failures.append(
+                    f"{name}: baseline has fused_peak_bytes but the current "
+                    "run did not measure memory"
+                )
+            elif peak > base_peak * threshold:
+                failures.append(
+                    f"{name}: fused peak {peak} bytes exceeds {threshold}x "
+                    f"baseline {base_peak} bytes"
+                )
     return failures
 
 
@@ -437,13 +618,15 @@ def bench_smoke(
     repeats: int = 3,
     warmup: int = 1,
     threshold: float = 2.0,
+    measure_memory: bool = True,
 ) -> int:
     """Tiny-scale gate: bench kernels + joins, write JSON, check baseline."""
     from ..faults.chaos import chaos_summary
 
     kernels = bench_kernels(scaled_tuples, num_nodes, seed, repeats, warmup)
     joins = bench_joins(
-        scaled_tuples, num_nodes, seed, repeats, warmup, measure_memory=False
+        scaled_tuples, num_nodes, seed, repeats, warmup,
+        measure_memory=measure_memory,
     )
     scaling = bench_scaling(
         scaled_tuples, num_nodes, seed, repeats, warmup, worker_counts=(1, 2, 4)
@@ -461,14 +644,18 @@ def bench_smoke(
         "joins": joins,
         "scaling": scaling,
         "chaos": chaos,
+        "peak_rss_bytes": peak_rss_bytes(),
         "analysis": lint_summary(),
     }
     write_report(out_path, payload)
     print(f"wrote {out_path}")
     for label, row in joins.items():
+        peak = row["fused_peak_bytes"]
+        peak_note = f"  peak {peak / 1e6:.1f}MB" if peak is not None else ""
         print(
             f"  {label:7s} loop {row['loop_seconds']:.4f}s  "
             f"fused {row['fused_seconds']:.4f}s  ({row['speedup']:.2f}x)"
+            f"{peak_note}"
         )
     print(
         f"  chaos   {chaos['runs']} runs, "
@@ -485,13 +672,17 @@ def bench_smoke(
         for label, row in joins.items()
         if row["retransmit_bytes"] != 0.0
     )
+    failures.extend(check_scaling(scaling))
     baseline_file = Path(baseline_path)
     if not baseline_file.exists() or not baseline_file.read_text().strip():
         print(f"no baseline at {baseline_path}; skipping regression check")
     else:
         failures.extend(
             check_regressions(
-                kernels, json.loads(baseline_file.read_text()), threshold
+                kernels,
+                json.loads(baseline_file.read_text()),
+                threshold,
+                joins=joins if measure_memory else None,
             )
         )
     for failure in failures:

@@ -463,6 +463,7 @@ class PhysicalPlan:
         cluster: Cluster,
         spec: JoinSpec | None = None,
         operator_retries: int = 0,
+        pipeline_depth: int | None = None,
     ) -> QueryResult:
         """Drive every operator through plan → execute → account.
 
@@ -474,6 +475,11 @@ class PhysicalPlan:
         injector to its seeded sequence).  A failed attempt accounted
         nothing — ``execute`` raises before ``account`` folds traffic
         or stats into the context — so retries never double-count.
+
+        ``pipeline_depth`` overrides the cluster's exchange pipelining
+        for the duration of this query (restored afterwards); ``None``
+        leaves the cluster's configured depth untouched.  Pipelining
+        stays disabled while a fault plan is installed regardless.
         """
         spec = spec or JoinSpec()
         if not spec.materialize:
@@ -482,22 +488,31 @@ class PhysicalPlan:
             raise ReproError(
                 f"operator_retries must be >= 0, got {operator_retries}"
             )
-        ctx = ExecutionContext(cluster=cluster, spec=spec)
-        for operator in self.operators:
-            attempt = 0
-            while True:
-                try:
-                    operator.plan(ctx)
-                    operator.execute(ctx)
-                    operator.account(ctx)
-                    break
-                except FaultExhaustedError:
-                    attempt += 1
-                    if attempt > operator_retries:
-                        raise
-                    cluster.reset()
-        final = ctx.tables[self.operators[-1].index]
-        return QueryResult(table=final, traffic=ctx.traffic, operators=ctx.operators)
+        previous_depth = cluster.pipeline_depth
+        if pipeline_depth is not None:
+            cluster.set_pipeline_depth(pipeline_depth)
+        try:
+            ctx = ExecutionContext(cluster=cluster, spec=spec)
+            for operator in self.operators:
+                attempt = 0
+                while True:
+                    try:
+                        operator.plan(ctx)
+                        operator.execute(ctx)
+                        operator.account(ctx)
+                        break
+                    except FaultExhaustedError:
+                        attempt += 1
+                        if attempt > operator_retries:
+                            raise
+                        cluster.reset()
+            final = ctx.tables[self.operators[-1].index]
+            return QueryResult(
+                table=final, traffic=ctx.traffic, operators=ctx.operators
+            )
+        finally:
+            if pipeline_depth is not None:
+                cluster.set_pipeline_depth(previous_depth)
 
 
 def _fusable(node: PlanNode, fuse_rekey: bool) -> bool:

@@ -20,6 +20,11 @@ import numpy as np
 
 from ..errors import PlacementError, SchemaError
 from ..fastpath import fused_enabled
+from ..parallel.chunks import (
+    chunked_argsort_bounded,
+    chunked_build,
+    chunked_gather,
+)
 from ..util import (
     hash_partition,
     segment_boundaries,
@@ -107,10 +112,19 @@ class LocalPartition:
         return len(self.keys)
 
     def take(self, indices: np.ndarray) -> "LocalPartition":
-        """Row subset (or permutation/expansion) selected by ``indices``."""
+        """Row subset (or permutation/expansion) selected by ``indices``.
+
+        Gathers run through :func:`~repro.parallel.chunks.chunked_gather`
+        — chunked over the index array when kernel parallelism is on,
+        a plain ``values[indices]`` otherwise; the output is
+        bit-identical either way.
+        """
         return LocalPartition(
-            keys=self.keys[indices],
-            columns={name: values[indices] for name, values in self.columns.items()},
+            keys=chunked_gather(self.keys, indices),
+            columns={
+                name: chunked_gather(values, indices)
+                for name, values in self.columns.items()
+            },
         )
 
     def copy(self) -> "LocalPartition":
@@ -207,12 +221,26 @@ class LocalPartition:
         self._fresh_caches()
         plan = self._scatter_plans.get((num_buckets, seed))
         if plan is None:
-            destinations = hash_partition(self.keys, num_buckets, seed)
+            # Every stage is chunk-parallel when kernel workers are on
+            # (elementwise hash, gathers, counting-merged argsort) and
+            # bit-identical to the serial composition either way; the
+            # bucket bounds fall out of the destination counts, which
+            # equal the searchsorted offsets over the sorted
+            # destinations.
+            destinations = chunked_build(
+                lambda start, stop: hash_partition(
+                    self.keys[start:stop], num_buckets, seed
+                ),
+                len(self.keys),
+                np.int64,
+            )
             key_order = self.key_index().order
-            order = key_order[
-                stable_argsort_bounded(destinations[key_order], num_buckets)
-            ]
-            bounds = np.searchsorted(destinations[order], np.arange(num_buckets + 1))
+            routed = chunked_gather(destinations, key_order)
+            inner, counts = chunked_argsort_bounded(
+                routed, num_buckets, stable_argsort_bounded
+            )
+            order = chunked_gather(key_order, inner)
+            bounds = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
             plan = ScatterPlan(destinations=destinations, order=order, bounds=bounds)
             self._scatter_plans[(num_buckets, seed)] = plan
         return plan
@@ -252,10 +280,11 @@ class LocalPartition:
 
         ``destinations[i]`` routes row ``rows[i]`` (or row ``i`` when
         ``rows`` is omitted).  The fused path performs one bounded-dtype
-        stable argsort and a single gather, then slices the result per
-        bucket; the loop path materializes one ``take()`` copy per
-        bucket (the reference the equivalence suite compares against).
-        Each bucket holds the same rows in the same order either way.
+        stable argsort (chunk-parallel when kernel workers are on) and a
+        single gather, then slices the result per bucket; the loop path
+        materializes one ``take()`` copy per bucket (the reference the
+        equivalence suite compares against).  Each bucket holds the same
+        rows in the same order either way.
         """
         if not fused_enabled():
             base = self if rows is None else self.take(rows)
@@ -267,9 +296,11 @@ class LocalPartition:
                 else None
                 for dst in range(num_buckets)
             ]
-        order = stable_argsort_bounded(destinations, num_buckets)
-        bounds = np.searchsorted(destinations[order], np.arange(num_buckets + 1))
-        gathered = self.take(order if rows is None else rows[order])
+        order, counts = chunked_argsort_bounded(
+            destinations, num_buckets, stable_argsort_bounded
+        )
+        bounds = np.concatenate(([0], np.cumsum(counts))).astype(np.intp)
+        gathered = self.take(order if rows is None else chunked_gather(rows, order))
         return [
             gathered._slice(bounds[dst], bounds[dst + 1])
             if bounds[dst + 1] > bounds[dst]

@@ -79,6 +79,12 @@ class ExecutionProfile:
     def __init__(self, num_nodes: int):
         self.num_nodes = num_nodes
         self.steps: list[Step] = []
+        #: Wall-clock phase breakdowns (one dict per executed phase
+        #: group): dispatch/kernel/barrier-wait/commit seconds plus
+        #: task/stage/worker counts.  Unlike ``steps``, these are real
+        #: timings — non-deterministic by nature — so they are excluded
+        #: from lane merging, golden comparisons, and :meth:`merge`.
+        self.phase_timings: list[dict] = []
         self._phase_lanes: list["ExecutionProfile"] | None = None
         self._tls = threading.local()
 
@@ -167,6 +173,36 @@ class ExecutionProfile:
         per_node = np.zeros(self.num_nodes)
         per_node[node] = nbytes
         return self._accumulate(name, LOCAL, "copy", per_node)
+
+    def record_phase_timing(self, timing: dict) -> None:
+        """Append one phase group's wall-clock breakdown.
+
+        Always recorded on the shared profile (never routed through a
+        lane): the phase runner calls this once per group, after the
+        barrier, from the coordinating thread.
+        """
+        self.phase_timings.append(timing)
+
+    def timing_totals(self) -> dict:
+        """Summed wall-clock breakdown over all recorded phases."""
+        totals = {
+            "phases": len(self.phase_timings),
+            "dispatch_seconds": 0.0,
+            "kernel_seconds": 0.0,
+            "barrier_wait_seconds": 0.0,
+            "commit_seconds": 0.0,
+            "phase_seconds": 0.0,
+        }
+        for timing in self.phase_timings:
+            for field in (
+                "dispatch_seconds",
+                "kernel_seconds",
+                "barrier_wait_seconds",
+                "commit_seconds",
+                "phase_seconds",
+            ):
+                totals[field] += timing.get(field, 0.0)
+        return totals
 
     def step_named(self, name: str) -> Step | None:
         """Look up a recorded step by name."""

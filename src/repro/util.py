@@ -144,8 +144,29 @@ def stable_sort_with_order(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     lo = int(values.min())
     span = int(values.max()) - lo
     if span < (1 << 31) and n < (1 << 32):
-        packed = ((values - lo) << np.int64(32)) | np.arange(n, dtype=np.int64)
-        packed.sort()
+        # Imported lazily: util is a leaf module for most of the
+        # library and the chunk engine is only needed on this path.
+        from .parallel import chunks
+
+        slices = chunks.chunked_slices(n)
+        if slices is None:
+            packed = ((values - lo) << np.int64(32)) | np.arange(n, dtype=np.int64)
+            packed.sort()
+        else:
+            # Chunked index build: pack per chunk, sort chunk slices in
+            # parallel, merge.  The packed values are pairwise distinct
+            # (unique index in the low bits), so the merged sequence is
+            # the unique ascending order — bit-identical to the direct
+            # in-place sort above for any chunk size or worker count.
+            packed = chunks.chunked_build(
+                lambda start, stop: (
+                    (values[start:stop] - lo) << np.int64(32)
+                )
+                | np.arange(start, stop, dtype=np.int64),
+                n,
+                np.int64,
+            )
+            packed = chunks.chunked_sort_unique(packed)
         order = packed & np.int64(0xFFFFFFFF)
         sorted_values = ((packed >> np.int64(32)) + lo).astype(values.dtype, copy=False)
         return order, sorted_values
