@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-scaling-smoke bench-full
+.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-scaling-smoke bench-serve bench-serve-smoke bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,6 +55,19 @@ bench-scaling:
 # speedup gate and still verify determinism.
 bench-scaling-smoke:
 	$(PYTHON) -m repro bench-scaling scaled_tuples=60000 repeats=2 warmup=1 worker_counts=1,2,4
+
+# Concurrent query-service throughput: 100 mixed queries, one-at-a-time
+# baseline vs warm pool + plan cache; merges a "serve" section into
+# BENCH_joins.json with q/s, p50/p99 latency, and cache hit rate.
+bench-serve:
+	$(PYTHON) -m repro serve-bench
+
+# CI-sized serve gate: fails when serve throughput drops below the
+# one-at-a-time baseline (within tolerance), p99 exceeds the smoke
+# bound, or the plan cache records no hits.  The 3x concurrency gate is
+# core-gated: 1-core runners record why it was skipped.
+bench-serve-smoke:
+	$(PYTHON) -m repro serve-bench queries=40 scaled_tuples=6000 num_nodes=4 clients=4
 
 # Full Figure 3 workload at 1/256 paper scale (slow, ~minutes).
 bench-full:

@@ -1,0 +1,22 @@
+"""Concurrent query-service throughput: warm pool + plan cache vs cold.
+
+Drives the mixed query workload of :mod:`repro.serve.bench` through the
+one-at-a-time cold baseline and the admission-controlled
+:class:`~repro.serve.QueryService`, and merges the ``"serve"`` section
+(queries/sec, p50/p99 latency, plan-cache hit rate, core-gated 3x
+speedup gate) into ``BENCH_joins.json``.
+
+Run directly (``python benchmarks/bench_serve.py``) or via
+``make bench-serve`` / ``python -m repro serve-bench``.
+"""
+
+import sys
+
+from repro.serve import bench_serve_report
+
+if __name__ == "__main__":
+    kwargs = {}
+    for pair in sys.argv[1:]:
+        key, _, value = pair.partition("=")
+        kwargs[key] = value if not value.lstrip("-").isdigit() else int(value)
+    raise SystemExit(bench_serve_report(**kwargs))

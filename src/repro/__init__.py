@@ -88,6 +88,7 @@ from .storage import (
     round_robin,
     shuffled,
 )
+from .serve import PlanCache, QueryRequest, QueryService, WarmExecutorPool
 from .timing import ExecutionProfile, HardwareModel, paper_cluster_2014, scaled_network
 
 __version__ = "1.0.0"
@@ -143,5 +144,9 @@ __all__ = [
     "NodeCrashError",
     "FaultExhaustedError",
     "ReproError",
+    "QueryService",
+    "QueryRequest",
+    "PlanCache",
+    "WarmExecutorPool",
     "__version__",
 ]

@@ -8,6 +8,7 @@ Usage::
     python -m repro all                  # run everything (slow)
     python -m repro bench-smoke          # tiny perf gate -> BENCH_joins.json
     python -m repro bench-scaling        # 1->N worker scaling curve
+    python -m repro serve-bench          # concurrent query-service throughput
     python -m repro lint                 # REP static analysis over src/repro
     python -m repro lint src tests format=json
     python -m repro chaos --seed 3       # fault-injection matrix, one seed
@@ -28,6 +29,29 @@ from __future__ import annotations
 import sys
 
 from .experiments import EXPERIMENTS, render, render_bars, run_experiment
+
+#: Every non-experiment subcommand with its one-line description, in
+#: help order.  Experiment ids (``python -m repro list``) are accepted
+#: as commands too; anything else exits 2 with this table.
+SUBCOMMANDS: dict[str, str] = {
+    "list": "show every registered experiment id",
+    "all": "run every registered experiment (slow)",
+    "<experiment-id>": "run one experiment (e.g. fig3; add bars=1 for ASCII bars)",
+    "bench-smoke": "tiny-scale perf + chaos gate, writes BENCH_joins.json",
+    "bench-scaling": "1->N worker scaling curve, merged into BENCH_joins.json",
+    "serve-bench": "concurrent query-service throughput vs one-at-a-time baseline",
+    "lint": "REP static analysis (paths..., format=text|json)",
+    "chaos": "seeded fault-injection matrix (seed=N, seeds=0,1, workers=1,4)",
+    "help": "show this help",
+}
+
+
+def _render_subcommands() -> str:
+    width = max(len(name) for name in SUBCOMMANDS)
+    return "\n".join(
+        f"  {name:<{width}}  {description}"
+        for name, description in SUBCOMMANDS.items()
+    )
 
 
 def _parse_value(raw: str):
@@ -131,12 +155,20 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help", "help"):
         print(__doc__)
+        print("Subcommands:\n" + _render_subcommands())
         return 0
     command = argv[0]
     if command == "lint":
         return _run_lint(argv[1:])
     if command == "chaos":
         return _run_chaos(argv[1:])
+    if command not in SUBCOMMANDS and command not in EXPERIMENTS:
+        print(
+            f"error: unknown subcommand {command!r}; available subcommands:\n"
+            + _render_subcommands(),
+            file=sys.stderr,
+        )
+        return 2
     malformed = [arg for arg in argv[1:] if "=" not in arg]
     if malformed:
         print(
@@ -164,6 +196,10 @@ def main(argv: list[str] | None = None) -> int:
         from .perf import bench_scaling_report
 
         return bench_scaling_report(**kwargs)
+    if command == "serve-bench":
+        from .serve import bench_serve_report
+
+        return bench_serve_report(**kwargs)
     if command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)

@@ -17,10 +17,18 @@ from .formulas import (
 from .histogram import KeyHistogram, estimate_distinct, stats_from_histograms
 from .optimizer import AlgorithmEstimate, choose_algorithm, rank_algorithms
 from .sampling import CorrelatedSample, correlated_sample, estimate_classes
-from .stats import JoinStats
+from .stats import (
+    JoinStats,
+    bump_stats_epoch,
+    register_epoch_listener,
+    stats_epoch,
+)
 
 __all__ = [
     "JoinStats",
+    "stats_epoch",
+    "bump_stats_epoch",
+    "register_epoch_listener",
     "KeyHistogram",
     "estimate_distinct",
     "stats_from_histograms",

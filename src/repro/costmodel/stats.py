@@ -16,11 +16,94 @@ selectivities.  Derived quantities follow the paper's notation:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import CostModelError
 
-__all__ = ["JoinStats"]
+__all__ = [
+    "JoinStats",
+    "stats_epoch",
+    "bump_stats_epoch",
+    "register_epoch_listener",
+]
+
+
+# ---------------------------------------------------------------------------
+# Statistics epochs
+# ---------------------------------------------------------------------------
+#
+# Cached artifacts derived from table statistics — compiled-plan
+# fingerprints, per-operator JoinStats on a run context — stay valid
+# only while the underlying data does.  The epoch registry is the
+# invalidation contract: loading, mutating, or re-partitioning a
+# resident table bumps its epoch (or the global epoch for wholesale
+# changes), every fingerprint that embeds the old epoch stops matching,
+# and registered listeners (the serve-layer plan cache) drop stale
+# entries eagerly.
+
+_epoch_lock = threading.Lock()
+_global_epoch: int = 0
+_table_epochs: dict[str, int] = {}
+_epoch_listeners: list[Callable[[str | None, int], None]] = []
+
+
+def stats_epoch(table: str | None = None) -> int:
+    """Current statistics epoch of ``table``, or the global epoch.
+
+    A table's epoch is the global epoch plus its own bump count, so
+    both :func:`bump_stats_epoch(name) <bump_stats_epoch>` and a global
+    ``bump_stats_epoch()`` advance it.  Epochs only ever grow.
+    """
+    with _epoch_lock:
+        if table is None:
+            return _global_epoch
+        return _global_epoch + _table_epochs.get(table, 0)
+
+
+def bump_stats_epoch(table: str | None = None) -> int:
+    """Invalidate statistics for ``table`` (or, with ``None``, every table).
+
+    Returns the table's (or global) new epoch and notifies every
+    listener registered via :func:`register_epoch_listener` with
+    ``(table, new_epoch)``.  Call this whenever a resident table's data
+    changes: rows appended, partitions rebalanced, a fresh load.
+    """
+    with _epoch_lock:
+        global _global_epoch
+        if table is None:
+            _global_epoch += 1
+            epoch = _global_epoch
+        else:
+            _table_epochs[table] = _table_epochs.get(table, 0) + 1
+            epoch = _global_epoch + _table_epochs[table]
+        listeners = list(_epoch_listeners)
+    for listener in listeners:
+        listener(table, epoch)
+    return epoch
+
+
+def register_epoch_listener(
+    listener: Callable[[str | None, int], None]
+) -> Callable[[], None]:
+    """Subscribe to epoch bumps; returns an unsubscribe callable.
+
+    Listeners fire after the epoch has advanced, outside the registry
+    lock, with the bumped table name (``None`` for a global bump) and
+    its new epoch.  The serve-layer plan cache uses this to evict
+    fingerprints of stale statistics instead of waiting for capacity
+    pressure to push them out.
+    """
+    with _epoch_lock:
+        _epoch_listeners.append(listener)
+
+    def unregister() -> None:
+        with _epoch_lock:
+            if listener in _epoch_listeners:
+                _epoch_listeners.remove(listener)
+
+    return unregister
 
 
 @dataclass(frozen=True)

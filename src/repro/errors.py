@@ -67,6 +67,53 @@ class AnalysisError(ReproError):
     """The static-analysis engine was given an unreadable or invalid input."""
 
 
+class ServeError(ReproError):
+    """Base class of the concurrent query-service subsystem."""
+
+
+class AdmissionError(ServeError):
+    """A query was rejected at admission (queue full or service closed).
+
+    Carries the admission state so callers can implement backpressure:
+    ``queued`` is how many queries were waiting and ``limit`` the
+    service's configured queue bound (``None`` for a closed service).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queued: int | None = None,
+        limit: int | None = None,
+    ):
+        super().__init__(message)
+        self.queued = queued
+        self.limit = limit
+
+
+class QueryTimeoutError(ServeError):
+    """A query missed its deadline while queued or between operators.
+
+    ``elapsed`` is the wall-clock seconds since admission and
+    ``timeout`` the budget the request declared; ``where`` says whether
+    the deadline expired in the admission queue (``"queued"``) or at an
+    operator boundary mid-run (``"running"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        elapsed: float | None = None,
+        timeout: float | None = None,
+        where: str = "running",
+    ):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.timeout = timeout
+        self.where = where
+
+
 class FaultError(ReproError):
     """Base class of the fault-injection and recovery subsystem."""
 

@@ -5,6 +5,7 @@ from .executor import (
     OperatorStats,
     PhysicalPlan,
     QueryResult,
+    RunContext,
     compile_plan,
     execute,
     rekey_table,
@@ -25,6 +26,7 @@ __all__ = [
     "execute",
     "compile_plan",
     "PhysicalPlan",
+    "RunContext",
     "QueryResult",
     "OperatorStats",
     "table_stats",

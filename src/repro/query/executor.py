@@ -32,13 +32,16 @@ import numpy as np
 from ..cluster.cluster import Cluster
 from ..cluster.network import MessageClass, TrafficLedger
 from ..costmodel.optimizer import choose_algorithm, fallback_algorithm
-from ..costmodel.stats import JoinStats
-from ..errors import FaultExhaustedError, ReproError
+from ..costmodel.stats import JoinStats, stats_epoch
+from ..errors import FaultExhaustedError, QueryTimeoutError, ReproError
 from ..joins.base import JoinResult, JoinSpec
 from ..joins.registry import algorithm, algorithm_names, create
 from ..joins.semijoin import SemiJoinFilteredJoin
+from ..parallel.executor import PhaseExecutor
 from ..storage.schema import Column, Schema
 from ..storage.table import DistributedTable, LocalPartition
+from ..timing.clock import wall_clock
+from ..timing.profile import ExecutionProfile
 from .aggregate import run_aggregation
 from .plan import Aggregate, Join, PlanNode, Rekey, Scan
 
@@ -46,6 +49,7 @@ __all__ = [
     "QueryResult",
     "OperatorStats",
     "PhysicalPlan",
+    "RunContext",
     "compile_plan",
     "execute",
     "table_stats",
@@ -70,6 +74,10 @@ class QueryResult:
     table: DistributedTable
     traffic: TrafficLedger
     operators: list[OperatorStats] = field(default_factory=list)
+    #: Execution profiles of the traffic-producing operators, in
+    #: execution order (one per join/aggregate).  Their deterministic
+    #: step lists let callers prove a concurrent run matched a solo run.
+    profiles: list[ExecutionProfile] = field(default_factory=list)
 
     @property
     def network_bytes(self) -> float:
@@ -222,7 +230,14 @@ def rekey_table(table: DistributedTable, column: str) -> DistributedTable:
 
 @dataclass
 class ExecutionContext:
-    """Per-run state threaded through the operator lifecycle."""
+    """Per-run state threaded through the operator lifecycle.
+
+    Every mutable per-run value lives here, never on the physical
+    operators themselves: a compiled :class:`PhysicalPlan` is an
+    immutable artifact that many concurrent runs (each with its own
+    context) may execute at once — the plan-cache contract.  Operators
+    pass state between their lifecycle steps through :meth:`state`.
+    """
 
     cluster: Cluster
     spec: JoinSpec
@@ -233,12 +248,57 @@ class ExecutionContext:
     #: OperatorStats rows in execution (post-)order.
     operators: list[OperatorStats] = field(default_factory=list)
     #: Cached join statistics by operator index, so a re-entered plan
-    #: step (or a future adaptive re-choice) never re-measures.
+    #: step (or a future adaptive re-choice) never re-measures.  A
+    #: :class:`RunContext` may supply this dict, making the cache
+    #: survive across reruns of the same compiled plan.
     join_stats: dict[int, JoinStats] = field(default_factory=dict)
+    #: Per-operator scratch (plan -> execute -> account hand-off),
+    #: keyed by operator index.
+    scratch: dict[int, dict] = field(default_factory=dict)
+    #: Execution profiles of traffic-producing operators, in order.
+    profiles: list[ExecutionProfile] = field(default_factory=list)
+    #: Optional wall-clock deadline; checked at operator boundaries.
+    deadline: float | None = None
+
+    def state(self, index: int) -> dict:
+        """This run's scratch dict for the operator at ``index``."""
+        return self.scratch.setdefault(index, {})
+
+
+@dataclass
+class RunContext:
+    """Reusable cross-run state for a compiled plan.
+
+    A cached :class:`PhysicalPlan` is re-executed many times; this
+    object carries what later runs can skip re-deriving:
+
+    - ``executor`` — a warm :class:`~repro.parallel.executor.PhaseExecutor`
+      (typically leased from a :class:`repro.serve.WarmExecutorPool`)
+      installed on the cluster for the duration of the run, so no run
+      ever re-resolves or respawns a worker pool;
+    - ``join_stats`` — measured per-operator :class:`JoinStats`, shared
+      across runs so a cached-plan rerun skips the full-table statistics
+      pass.  The dict is invalidated automatically whenever any scanned
+      table's statistics epoch moves.
+    - ``deadline`` — per-run wall-clock deadline (this field is *not*
+      cross-run; the owner sets it before each run).
+    """
+
+    executor: PhaseExecutor | None = None
+    join_stats: dict[int, JoinStats] = field(default_factory=dict)
+    deadline: float | None = None
+    #: Epoch of every scanned table when ``join_stats`` was measured;
+    #: maintained by :meth:`PhysicalPlan.run`.
+    epoch_signature: tuple | None = None
 
 
 class PhysicalOperator(abc.ABC):
-    """One pipeline stage with a plan → execute → account lifecycle."""
+    """One pipeline stage with a plan → execute → account lifecycle.
+
+    Operators are immutable after compilation: per-run values flow
+    through ``ctx.state(self.index)`` so one compiled plan can serve
+    concurrent runs (see :class:`ExecutionContext`).
+    """
 
     def __init__(self, index: int, inputs: tuple[int, ...]):
         self.index = index
@@ -262,14 +322,14 @@ class ScanOp(PhysicalOperator):
     def __init__(self, index: int, node: Scan):
         super().__init__(index, ())
         self.node = node
-        self._stats: OperatorStats | None = None
 
     def execute(self, ctx: ExecutionContext) -> None:
         node = self.node
+        state = ctx.state(self.index)
         ctx.cluster.check_table(node.table)
         if node.predicate is None:
             ctx.tables[self.index] = node.table
-            self._stats = OperatorStats("scan", node.table.total_rows, 0.0)
+            state["stats"] = OperatorStats("scan", node.table.total_rows, 0.0)
             return
         partitions = [
             partition.take(node.predicate.mask(partition))
@@ -281,12 +341,12 @@ class ScanOp(PhysicalOperator):
         kept = filtered.total_rows
         selectivity = kept / node.table.total_rows if node.table.total_rows else 0.0
         ctx.tables[self.index] = filtered
-        self._stats = OperatorStats(
+        state["stats"] = OperatorStats(
             "scan+filter", kept, 0.0, note=f"selectivity {selectivity:.3f}"
         )
 
     def account(self, ctx: ExecutionContext) -> None:
-        ctx.operators.append(self._stats)
+        ctx.operators.append(ctx.state(self.index)["stats"])
 
 
 class JoinOp(PhysicalOperator):
@@ -300,13 +360,10 @@ class JoinOp(PhysicalOperator):
         self.node = node
         self.rekey_on = rekey_on if fused_rekey else node.rekey_on
         self.fused_rekey = fused_rekey
-        self.algorithm: str | None = None
-        self._note = ""
-        self._operator_name = ""
-        self._result: JoinResult | None = None
 
     def plan(self, ctx: ExecutionContext) -> None:
         node = self.node
+        state = ctx.state(self.index)
         if node.algorithm == "auto":
             stats = ctx.join_stats.get(self.index)
             if stats is None:
@@ -314,20 +371,20 @@ class JoinOp(PhysicalOperator):
                 stats = table_stats(left, right, ctx.spec)
                 ctx.join_stats[self.index] = stats
             choice = choose_algorithm(stats)
-            self.algorithm = choice.algorithm
-            self._note = f"auto: {choice.algorithm}"
+            state["algorithm"] = choice.algorithm
+            state["note"] = f"auto: {choice.algorithm}"
             if choice.note:
-                self._note += f" ({choice.note})"
+                state["note"] += f" ({choice.note})"
         elif node.algorithm in algorithm_names():
-            self.algorithm = node.algorithm
-            self._note = "fixed"
+            state["algorithm"] = node.algorithm
+            state["note"] = "fixed"
         else:
             raise ReproError(
                 f"unknown join algorithm {node.algorithm!r}; "
                 f"use 'auto' or one of {sorted(algorithm_names())}"
             )
         if self.fused_rekey:
-            self._note += f"; fused rekey on {self.rekey_on}"
+            state["note"] += f"; fused rekey on {self.rekey_on}"
 
     #: Message classes only tracking-phase operators send; their fault
     #: exhaustion is survivable by degrading to a non-tracking algorithm.
@@ -341,19 +398,20 @@ class JoinOp(PhysicalOperator):
             fallback = self._degraded_algorithm(ctx, error)
             if fallback is None:
                 raise
-            self.algorithm = fallback
+            ctx.state(self.index)["algorithm"] = fallback
             self._run_operator(ctx, left, right)
 
     def _run_operator(
         self, ctx: ExecutionContext, left: DistributedTable, right: DistributedTable
     ) -> None:
-        operator = create(self.algorithm)
+        state = ctx.state(self.index)
+        operator = create(state["algorithm"])
         if self.node.semijoin_filter:
             operator = SemiJoinFilteredJoin(operator)
-        self._operator_name = operator.name
-        self._result = operator.run(ctx.cluster, left, right, ctx.spec)
+        state["operator_name"] = operator.name
+        state["result"] = operator.run(ctx.cluster, left, right, ctx.spec)
         ctx.tables[self.index] = _join_output_table(
-            self._result, left, right, self.rekey_on
+            state["result"], left, right, self.rekey_on
         )
 
     def _degraded_algorithm(
@@ -369,9 +427,10 @@ class JoinOp(PhysicalOperator):
         the fault injector to the identical seeded sequence), and the
         downgrade is recorded in the operator's stats note.
         """
+        state = ctx.state(self.index)
         if error.category not in self._TRACKING_CLASSES:
             return None
-        if not algorithm(self.algorithm).tracking:
+        if not algorithm(state["algorithm"]).tracking:
             return None
         stats = ctx.join_stats.get(self.index)
         if stats is None:
@@ -379,22 +438,25 @@ class JoinOp(PhysicalOperator):
             stats = table_stats(left, right, ctx.spec)
             ctx.join_stats[self.index] = stats
         fallback = fallback_algorithm(stats)
-        if fallback is None or fallback.algorithm == self.algorithm:
+        if fallback is None or fallback.algorithm == state["algorithm"]:
             return None
-        self._note += (
-            f"; degraded {self.algorithm}->{fallback.algorithm}: "
+        state["note"] += (
+            f"; degraded {state['algorithm']}->{fallback.algorithm}: "
             f"{error.category.value} traffic exhausted its fault budget"
         )
         return fallback.algorithm
 
     def account(self, ctx: ExecutionContext) -> None:
-        ctx.traffic = ctx.traffic.merged_with(self._result.traffic)
+        state = ctx.state(self.index)
+        result: JoinResult = state["result"]
+        ctx.traffic = ctx.traffic.merged_with(result.traffic)
+        ctx.profiles.append(result.profile)
         ctx.operators.append(
             OperatorStats(
-                f"join[{self._operator_name}]",
-                self._result.output_rows,
-                self._result.network_bytes,
-                note=self._note,
+                f"join[{state['operator_name']}]",
+                result.output_rows,
+                result.network_bytes,
+                note=state["note"],
             )
         )
 
@@ -428,21 +490,23 @@ class AggregateOp(PhysicalOperator):
     def __init__(self, index: int, inputs: tuple[int], node: Aggregate):
         super().__init__(index, inputs)
         self.node = node
-        self._result = None
 
     def execute(self, ctx: ExecutionContext) -> None:
-        self._result = run_aggregation(
+        result = run_aggregation(
             ctx.cluster, ctx.tables[self.inputs[0]], self.node.aggregates, ctx.spec
         )
-        ctx.tables[self.index] = self._result.table
+        ctx.state(self.index)["result"] = result
+        ctx.tables[self.index] = result.table
 
     def account(self, ctx: ExecutionContext) -> None:
-        ctx.traffic = ctx.traffic.merged_with(self._result.traffic)
+        result = ctx.state(self.index)["result"]
+        ctx.traffic = ctx.traffic.merged_with(result.traffic)
+        ctx.profiles.append(result.profile)
         ctx.operators.append(
             OperatorStats(
                 "aggregate",
-                self._result.table.total_rows,
-                self._result.network_bytes,
+                result.table.total_rows,
+                result.network_bytes,
             )
         )
 
@@ -454,9 +518,17 @@ class AggregateOp(PhysicalOperator):
 
 @dataclass
 class PhysicalPlan:
-    """A compiled plan: physical operators in post-order."""
+    """A compiled plan: physical operators in post-order.
+
+    The compiled artifact is immutable and safe to share: concurrent
+    :meth:`run` calls keep all per-run state on their own
+    :class:`ExecutionContext`, which is what lets the serve layer's
+    plan cache hand one compiled plan to many in-flight queries.
+    """
 
     operators: list[PhysicalOperator]
+    #: Names of every scanned table, for statistics-epoch invalidation.
+    table_names: tuple[str, ...] = ()
 
     def run(
         self,
@@ -464,6 +536,7 @@ class PhysicalPlan:
         spec: JoinSpec | None = None,
         operator_retries: int = 0,
         pipeline_depth: int | None = None,
+        context: RunContext | None = None,
     ) -> QueryResult:
         """Drive every operator through plan → execute → account.
 
@@ -480,6 +553,15 @@ class PhysicalPlan:
         for the duration of this query (restored afterwards); ``None``
         leaves the cluster's configured depth untouched.  Pipelining
         stays disabled while a fault plan is installed regardless.
+
+        ``context`` threads reusable cross-run state through the run
+        (see :class:`RunContext`): a warm executor is installed on the
+        cluster for the duration of the run instead of the cluster's
+        own (restored afterwards), cached ``join_stats`` let reruns
+        skip the statistics pass (cleared automatically when a scanned
+        table's statistics epoch has moved), and a ``deadline`` is
+        enforced at every operator boundary with
+        :class:`~repro.errors.QueryTimeoutError`.
         """
         spec = spec or JoinSpec()
         if not spec.materialize:
@@ -488,12 +570,38 @@ class PhysicalPlan:
             raise ReproError(
                 f"operator_retries must be >= 0, got {operator_retries}"
             )
+        join_stats: dict[int, JoinStats] | None = None
+        deadline: float | None = None
+        previous_executor = None
+        if context is not None:
+            epoch_signature = tuple(
+                stats_epoch(name) for name in self.table_names
+            )
+            if context.epoch_signature != epoch_signature:
+                context.join_stats.clear()
+                context.epoch_signature = epoch_signature
+            join_stats = context.join_stats
+            deadline = context.deadline
+            if (
+                context.executor is not None
+                and context.executor is not cluster.executor
+            ):
+                previous_executor = cluster.executor
+                cluster.executor = context.executor
         previous_depth = cluster.pipeline_depth
         if pipeline_depth is not None:
             cluster.set_pipeline_depth(pipeline_depth)
         try:
-            ctx = ExecutionContext(cluster=cluster, spec=spec)
+            ctx = ExecutionContext(cluster=cluster, spec=spec, deadline=deadline)
+            if join_stats is not None:
+                ctx.join_stats = join_stats
             for operator in self.operators:
+                if deadline is not None and wall_clock() > deadline:
+                    raise QueryTimeoutError(
+                        f"query deadline expired before operator "
+                        f"{operator.index} ({type(operator).__name__})",
+                        where="running",
+                    )
                 attempt = 0
                 while True:
                     try:
@@ -508,11 +616,16 @@ class PhysicalPlan:
                         cluster.reset()
             final = ctx.tables[self.operators[-1].index]
             return QueryResult(
-                table=final, traffic=ctx.traffic, operators=ctx.operators
+                table=final,
+                traffic=ctx.traffic,
+                operators=ctx.operators,
+                profiles=ctx.profiles,
             )
         finally:
             if pipeline_depth is not None:
                 cluster.set_pipeline_depth(previous_depth)
+            if previous_executor is not None:
+                cluster.executor = previous_executor
 
 
 def _fusable(node: PlanNode, fuse_rekey: bool) -> bool:
@@ -578,7 +691,7 @@ def compile_plan(plan: PlanNode, *, fuse_rekey: bool = False) -> PhysicalPlan:
         frames.pop()
         if frames:
             frames[-1][1].append(index)
-    return PhysicalPlan(operators)
+    return PhysicalPlan(operators, table_names=plan.table_names())
 
 
 def execute(plan: PlanNode, cluster: Cluster, spec: JoinSpec | None = None) -> QueryResult:

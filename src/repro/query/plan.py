@@ -10,8 +10,11 @@ traffic.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
+from ..costmodel.stats import stats_epoch
+from ..errors import ReproError
 from ..storage.table import DistributedTable
 from .aggregate import AggregateSpec
 from .predicates import Predicate
@@ -21,6 +24,50 @@ __all__ = ["PlanNode", "Scan", "Join", "Rekey", "Aggregate"]
 
 class PlanNode:
     """Base class of all logical plan nodes."""
+
+    def fingerprint(self) -> str:
+        """Deterministic identity of this plan for caching.
+
+        Two structurally identical plans — same node shapes, algorithm
+        choices, predicates, and aggregate specs over tables with the
+        same name, schema, and partition count — produce the same
+        fingerprint, even when built independently.  Each scanned
+        table's current statistics epoch
+        (:func:`repro.costmodel.stats.stats_epoch`) is folded in, so
+        bumping an epoch after a data change retires every fingerprint
+        that was computed against the old statistics.  The digest is a
+        SHA-256 hex string, stable across processes (no reliance on
+        Python's per-process ``hash``).
+        """
+        return hashlib.sha256(repr(self._canonical()).encode()).hexdigest()
+
+    def table_names(self) -> tuple[str, ...]:
+        """Names of every table this plan scans, in scan order."""
+        names: list[str] = []
+        stack: list[PlanNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Scan):
+                names.append(node.table.name)
+            elif isinstance(node, Join):
+                stack.extend((node.right, node.left))
+            elif isinstance(node, (Rekey, Aggregate)):
+                stack.append(node.child)
+        return tuple(names)
+
+    def _canonical(self) -> tuple:
+        raise ReproError(
+            f"plan node {type(self).__name__} does not define a canonical "
+            "fingerprint form"
+        )
+
+
+def _schema_signature(table: DistributedTable) -> tuple:
+    """Structural identity of a table's schema (names and widths)."""
+    return tuple(
+        (column.name, column.bits, column.decimal_digits, column.char_length)
+        for column in table.schema.columns
+    )
 
 
 @dataclass
@@ -33,6 +80,18 @@ class Scan(PlanNode):
 
     table: DistributedTable
     predicate: Predicate | None = None
+
+    def _canonical(self) -> tuple:
+        # Predicates are frozen dataclasses, so their repr is structural
+        # and process-independent; the epoch term retires stale entries.
+        return (
+            "scan",
+            self.table.name,
+            self.table.num_nodes,
+            _schema_signature(self.table),
+            repr(self.predicate),
+            stats_epoch(self.table.name),
+        )
 
 
 @dataclass
@@ -58,6 +117,16 @@ class Join(PlanNode):
     #: Wrap the join in two-way Bloom semi-join filtering (Section 3.3).
     semijoin_filter: bool = False
 
+    def _canonical(self) -> tuple:
+        return (
+            "join",
+            self.algorithm,
+            self.rekey_on,
+            self.semijoin_filter,
+            self.left._canonical(),
+            self.right._canonical(),
+        )
+
 
 @dataclass
 class Rekey(PlanNode):
@@ -73,6 +142,9 @@ class Rekey(PlanNode):
     child: PlanNode
     column: str
 
+    def _canonical(self) -> tuple:
+        return ("rekey", self.column, self.child._canonical())
+
 
 @dataclass
 class Aggregate(PlanNode):
@@ -80,3 +152,10 @@ class Aggregate(PlanNode):
 
     child: PlanNode
     aggregates: tuple[AggregateSpec, ...] = field(default=())
+
+    def _canonical(self) -> tuple:
+        return (
+            "aggregate",
+            tuple((s.name, s.function, s.column) for s in self.aggregates),
+            self.child._canonical(),
+        )
