@@ -20,11 +20,12 @@ test-chaos:
 	$(PYTHON) -m pytest tests/test_chaos.py -q
 	$(PYTHON) -m repro chaos seeds=0,1,2 workers=1,4
 
-# Static analysis: the project's REP determinism/aliasing rules always
-# run; ruff and mypy run when installed (pip install -e .[dev]) and are
-# mandatory in CI.
+# Static analysis: the project's REP determinism/aliasing rules plus
+# the whole-package REP007-REP011 dataflow pass always run; ruff and
+# mypy run when installed (pip install -e .[dev]) and are mandatory in
+# CI.
 lint:
-	$(PYTHON) -m repro lint
+	$(PYTHON) -m repro lint --dataflow
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src; \
 	else \

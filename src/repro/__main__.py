@@ -10,7 +10,9 @@ Usage::
     python -m repro bench-scaling        # 1->N worker scaling curve
     python -m repro serve-bench          # concurrent query-service throughput
     python -m repro lint                 # REP static analysis over src/repro
+    python -m repro lint --dataflow      # + whole-package REP007-REP011 pass
     python -m repro lint src tests format=json
+    python -m repro lint --dataflow --format sarif --no-cache
     python -m repro chaos --seed 3       # fault-injection matrix, one seed
     python -m repro chaos seeds=0,1,2 workers=1,4
 
@@ -21,7 +23,9 @@ sets the default worker count for phase execution (equivalent to the
 ``REPRO_WORKERS`` environment variable).
 
 ``lint`` instead treats bare arguments as files/directories to scan
-(default ``src/repro``) and accepts ``format=text|json``.
+(default ``src/repro``) and accepts ``--dataflow``, ``--format
+text|json|sarif``, ``--baseline FILE``, ``--write-baseline FILE``, and
+``--no-cache`` (each also spellable as ``key=value``).
 """
 
 from __future__ import annotations
@@ -40,7 +44,10 @@ SUBCOMMANDS: dict[str, str] = {
     "bench-smoke": "tiny-scale perf + chaos gate, writes BENCH_joins.json",
     "bench-scaling": "1->N worker scaling curve, merged into BENCH_joins.json",
     "serve-bench": "concurrent query-service throughput vs one-at-a-time baseline",
-    "lint": "REP static analysis (paths..., format=text|json)",
+    "lint": (
+        "REP static analysis (paths..., --dataflow, --format text|json|sarif, "
+        "--baseline FILE, --write-baseline FILE, --no-cache)"
+    ),
     "chaos": "seeded fault-injection matrix (seed=N, seeds=0,1, workers=1,4)",
     "help": "show this help",
 }
@@ -63,26 +70,100 @@ def _parse_value(raw: str):
     return raw
 
 
+#: Lint flags that take no value.
+_LINT_FLAGS = {"--dataflow": "dataflow", "--no-cache": "no-cache"}
+#: Lint flags whose value is the next argument (``--format sarif``).
+_LINT_VALUED = {
+    "--format": "format",
+    "--baseline": "baseline",
+    "--write-baseline": "write-baseline",
+    "--cache-dir": "cache-dir",
+}
+
+
 def _run_lint(args: list[str]) -> int:
-    """The ``lint`` subcommand: REP static analysis with text/JSON output."""
-    from .analysis import DEFAULT_TARGET, lint_paths
+    """The ``lint`` subcommand: REP static analysis.
+
+    Bare arguments are files/directories to scan (default
+    ``src/repro``).  ``--dataflow`` adds the whole-package REP007–REP011
+    pass; ``--format text|json|sarif`` selects the reporter;
+    ``--baseline FILE`` absorbs grandfathered findings;
+    ``--write-baseline FILE`` records the current findings and exits 0;
+    ``--no-cache`` disables the ``.repro-lint-cache/`` result cache
+    (``--cache-dir DIR`` relocates it).  ``key=value`` spellings of the
+    same options are accepted.  Exit codes: 0 clean, 1 findings, 2
+    malformed invocation.
+    """
+    from .analysis import DEFAULT_TARGET, lint_paths, write_baseline
     from .errors import AnalysisError
 
-    paths = [arg for arg in args if "=" not in arg]
-    options = dict(arg.split("=", 1) for arg in args if "=" in arg)
+    paths: list[str] = []
+    options: dict[str, str] = {}
+    booleans: set[str] = set()
+    position = 0
+    while position < len(args):
+        arg = args[position]
+        if arg in _LINT_FLAGS:
+            booleans.add(_LINT_FLAGS[arg])
+            position += 1
+        elif arg in _LINT_VALUED and position + 1 < len(args):
+            options[_LINT_VALUED[arg]] = args[position + 1]
+            position += 2
+        elif arg.startswith("--") and "=" in arg:
+            key, value = arg[2:].split("=", 1)
+            options[key] = value
+            position += 1
+        elif "=" in arg and not arg.startswith("-"):
+            key, value = arg.split("=", 1)
+            options[key] = value
+            position += 1
+        elif arg.startswith("-"):
+            print(f"error: unknown lint option {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+            position += 1
+
+    truthy = ("1", "true", "yes", "on")
     fmt = options.pop("format", "text")
+    baseline = options.pop("baseline", None)
+    write_to = options.pop("write-baseline", options.pop("write_baseline", None))
+    cache_dir = options.pop("cache-dir", options.pop("cache_dir", ".repro-lint-cache"))
+    dataflow = "dataflow" in booleans or str(
+        options.pop("dataflow", "")
+    ).lower() in truthy
+    no_cache = "no-cache" in booleans or str(
+        options.pop("no-cache", options.pop("no_cache", ""))
+    ).lower() in truthy
     if options:
         print(f"error: unknown lint option(s): {sorted(options)}", file=sys.stderr)
         return 2
-    if fmt not in ("text", "json"):
-        print(f"error: format must be 'text' or 'json', got {fmt!r}", file=sys.stderr)
+    if fmt not in ("text", "json", "sarif"):
+        print(
+            f"error: format must be 'text', 'json', or 'sarif', got {fmt!r}",
+            file=sys.stderr,
+        )
         return 2
     try:
-        report = lint_paths(paths or [DEFAULT_TARGET])
+        report = lint_paths(
+            paths or [DEFAULT_TARGET],
+            dataflow=dataflow,
+            baseline=baseline,
+            cache_dir=None if no_cache else cache_dir,
+        )
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(report.render_json() if fmt == "json" else report.render_text())
+    if write_to is not None:
+        write_baseline(report, write_to)
+        print(f"wrote {len(report.diagnostics)} finding(s) to baseline {write_to}")
+        return 0
+    if fmt == "json":
+        print(report.render_json())
+    elif fmt == "sarif":
+        print(report.render_sarif())
+    else:
+        print(report.render_text())
     return 0 if report.clean else 1
 
 

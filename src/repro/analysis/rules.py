@@ -15,12 +15,23 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from .engine import Diagnostic, FileContext, Rule, register_rule
+from .engine import (
+    DataflowRule,
+    Diagnostic,
+    FileContext,
+    Rule,
+    register_dataflow_rule,
+    register_rule,
+)
 
-__all__ = ["DEFAULT_TARGET"]
+__all__ = ["DEFAULT_TARGET", "RULES_VERSION"]
 
 #: The tree `python -m repro lint` scans when no paths are given.
 DEFAULT_TARGET = "src/repro"
+
+#: Bumped whenever rule logic changes; part of the lint-cache key so a
+#: stale `.repro-lint-cache/` can never mask a new finding.
+RULES_VERSION = "1"
 
 #: time-module attributes that read wall or monotonic clocks.
 _CLOCK_ATTRS = {
@@ -522,3 +533,471 @@ class SwallowedException(Rule):
         if broad:
             return f"'except {broad[0]}'"
         return None
+
+
+# ---------------------------------------------------------------------------
+# Whole-package dataflow rules (REP007–REP011).
+#
+# These run over the PackageIndex built by repro.analysis.dataflow: they
+# see the call graph and the inferred task contexts, so "reachable from
+# a phase task" is a real property here, not a per-file guess.  Imports
+# are function-local to keep module import order acyclic (engine imports
+# this module to populate the registries; dataflow imports engine).
+# ---------------------------------------------------------------------------
+
+
+def _function_items(index) -> list[tuple[str, object]]:
+    """(qualname, FunctionInfo) pairs in deterministic order."""
+    return sorted(index.functions.items())
+
+
+@register_dataflow_rule
+class UnsynchronizedGlobalMutation(DataflowRule):
+    """REP007: module globals mutated from task context need a lock.
+
+    A phase task, kernel subtask, or service driver thread runs
+    concurrently with its siblings; a mutation of module-level mutable
+    state (dict/list/set globals, or any ``global``-declared rebind or
+    augmented assign) from such a function is a data race unless every
+    access happens under a lock.  Thread-local state
+    (``threading.local()``) and lock objects themselves are exempt, as
+    is any mutation lexically inside a ``with <lock>:`` block.
+    """
+
+    code = "REP007"
+    summary = "module global mutated from task context without a lock"
+
+    def check_package(self, index) -> Iterator[Diagnostic]:
+        from .contexts import (
+            declared_globals,
+            iter_mutations,
+            local_names,
+            lock_held_map,
+        )
+
+        contexts = index.task_contexts()
+        for qual in sorted(contexts.task):
+            info = index.functions[qual]
+            module = index.modules[info.module]
+            declared = declared_globals(info)
+            locals_ = local_names(info)
+            held = None
+            for mutation in iter_mutations(info):
+                head = mutation.chain[0]
+                if head in ("self", "cls"):
+                    continue
+                var = module.globals.get(head)
+                if var is None or var.kind in ("lock", "tls"):
+                    continue
+                if mutation.kind in ("assign", "augassign"):
+                    if len(mutation.chain) != 1 or head not in declared:
+                        continue
+                elif mutation.kind in ("setitem", "delitem", "method"):
+                    if var.kind != "mutable":
+                        continue
+                    if head in locals_ and head not in declared:
+                        continue
+                else:
+                    continue
+                if held is None:
+                    held = lock_held_map(index, info)
+                if held.get(id(mutation.node)):
+                    continue
+                kinds = "/".join(contexts.kinds_of(qual)) or "task"
+                yield module.ctx.diagnostic(
+                    mutation.node,
+                    self.code,
+                    f"{qual} runs in {kinds} context and mutates module "
+                    f"global {head!r} without holding a lock; guard the "
+                    "access or make the state thread-local",
+                )
+
+
+@register_dataflow_rule
+class ScratchKeyNamespace(DataflowRule):
+    """REP008: ``ExecutionContext.scratch`` keys must be namespaced.
+
+    Since the serve layer runs many queries over shared compiled
+    operators, per-run state lives on ``ctx.scratch`` — a dict shared by
+    *every operator in the plan*.  A bare literal key (``"build"``)
+    silently collides the moment two operators pick the same word; the
+    convention is a namespaced literal (``"join:build"``) or a dynamic
+    key carrying the operator identity (``("join", self.index)``,
+    ``ctx.state(self.index)``).  This rule flags non-namespaced string
+    literals and any fully-literal key used by more than one class.
+    """
+
+    code = "REP008"
+    summary = "non-namespaced or colliding ExecutionContext.scratch key"
+
+    def check_package(self, index) -> Iterator[Diagnostic]:
+        sites: list[tuple[object, object, str | None, object, object]] = []
+        for name in sorted(index.modules):
+            module = index.modules[name]
+            for owner, key, anchor in self._scratch_keys(module.ctx.tree):
+                sites.append((module, owner, *self._key_literal(key), anchor))
+
+        owners_by_literal: dict[object, set[tuple[str, str | None]]] = {}
+        for module, owner, kind, literal, _anchor in sites:
+            if kind == "literal":
+                owners_by_literal.setdefault(literal, set()).add(
+                    (module.name, owner)
+                )
+
+        for module, owner, kind, literal, anchor in sites:
+            if kind != "literal":
+                continue
+            if len(owners_by_literal[literal]) > 1:
+                yield module.ctx.diagnostic(
+                    anchor,
+                    self.code,
+                    f"scratch key {literal!r} is used by multiple operators "
+                    "(" + ", ".join(
+                        sorted(
+                            f"{mod}.{cls}" if cls else mod
+                            for mod, cls in owners_by_literal[literal]
+                        )
+                    )
+                    + "); shared scratch keys collide across a plan",
+                )
+            elif isinstance(literal, str) and ":" not in literal:
+                yield module.ctx.diagnostic(
+                    anchor,
+                    self.code,
+                    f"scratch key {literal!r} is not namespaced; use "
+                    "'<operator>:<name>', a (name, self.index) tuple, or "
+                    "ctx.state(self.index)",
+                )
+            elif not isinstance(literal, (str, tuple)):
+                yield module.ctx.diagnostic(
+                    anchor,
+                    self.code,
+                    f"scratch key {literal!r} carries no operator identity; "
+                    "key scratch entries on a namespaced literal or tuple",
+                )
+
+    @staticmethod
+    def _scratch_keys(tree: ast.Module):
+        """Yield (owning class or None, key expr, anchor node)."""
+
+        def visit(node: ast.AST, owner: str | None):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    yield from visit(child, child.name)
+                    continue
+                if isinstance(child, ast.Subscript):
+                    chain = _attr_chain(child.value)
+                    if chain and chain[-1] == "scratch":
+                        yield owner, child.slice, child
+                elif isinstance(child, ast.Call) and isinstance(
+                    child.func, ast.Attribute
+                ):
+                    if child.func.attr in ("get", "setdefault", "pop"):
+                        chain = _attr_chain(child.func.value)
+                        if chain and chain[-1] == "scratch" and child.args:
+                            yield owner, child.args[0], child
+                yield from visit(child, owner)
+
+        yield from visit(tree, None)
+
+    @staticmethod
+    def _key_literal(key: ast.AST) -> tuple[str, object]:
+        """("literal", value) for fully-constant keys, else ("dynamic", None)."""
+        if isinstance(key, ast.Constant):
+            return "literal", key.value
+        if isinstance(key, ast.Tuple) and all(
+            isinstance(element, ast.Constant) for element in key.elts
+        ):
+            return "literal", tuple(element.value for element in key.elts)
+        return "dynamic", None
+
+
+@register_dataflow_rule
+class LockAsymmetry(DataflowRule):
+    """REP009: state guarded by a lock anywhere must be guarded everywhere.
+
+    In a class that owns a lock (a ``self._lock``-style attribute), two
+    access shapes defeat the guard: mutating a container attribute
+    (``self._entries[k] = v``, ``self.leases += 1``) outside any
+    ``with``-lock block, and *reading* an attribute outside the lock
+    when its writers hold it — the read can observe a torn or stale
+    snapshot (the warm-pool ``stats()`` bug).  ``__init__`` is exempt:
+    the object is not yet published.
+    """
+
+    code = "REP009"
+    summary = "cache/pool structure accessed outside its owning lock"
+
+    def check_package(self, index) -> Iterator[Diagnostic]:
+        from .contexts import iter_mutations, lock_held_map
+
+        for cls_qual in sorted(index.classes):
+            cls = index.classes[cls_qual]
+            if not cls.lock_attrs:
+                continue
+            module = index.modules[cls.module]
+            methods = {
+                method: index.functions[qual]
+                for method, qual in sorted(cls.methods.items())
+                if qual in index.functions
+            }
+            container_attrs = self._container_attrs(cls)
+
+            guarded: set[str] = set()
+            mutations = {}
+            held_maps = {}
+            for method, info in methods.items():
+                held_maps[method] = lock_held_map(index, info)
+                sites = [
+                    mutation
+                    for mutation in iter_mutations(info)
+                    if len(mutation.chain) >= 2 and mutation.chain[0] == "self"
+                ]
+                mutations[method] = sites
+                if method != "__init__":
+                    for mutation in sites:
+                        if held_maps[method].get(id(mutation.node)):
+                            guarded.add(mutation.chain[1])
+            guarded -= cls.lock_attrs
+
+            for method, info in methods.items():
+                if method == "__init__":
+                    continue
+                held = held_maps[method]
+                flagged: set[tuple[str, int]] = set()
+                for mutation in mutations[method]:
+                    attr = mutation.chain[1]
+                    if attr not in container_attrs and attr not in guarded:
+                        continue
+                    if held.get(id(mutation.node)):
+                        continue
+                    line = getattr(mutation.node, "lineno", 0)
+                    if (attr, line) in flagged:
+                        continue
+                    flagged.add((attr, line))
+                    yield module.ctx.diagnostic(
+                        mutation.node,
+                        self.code,
+                        f"{cls.name}.{method} mutates self.{attr} outside "
+                        f"the lock that guards it elsewhere in {cls.name}; "
+                        "take the owning lock around the mutation",
+                    )
+                for node, attr in self._self_reads(info):
+                    if attr not in guarded or held.get(id(node)):
+                        continue
+                    line = getattr(node, "lineno", 0)
+                    if (attr, line) in flagged:
+                        continue
+                    flagged.add((attr, line))
+                    yield module.ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"{cls.name}.{method} reads self.{attr} outside the "
+                        f"lock its writers hold; the value can be torn or "
+                        "stale — snapshot it under the lock",
+                    )
+
+    @staticmethod
+    def _container_attrs(cls) -> set[str]:
+        """``self`` attributes assigned a mutable container in the class."""
+        from .dataflow import _classify_value
+
+        attrs: set[str] = set()
+        for node in ast.walk(cls.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if _classify_value(node.value) != "mutable":
+                continue
+            for target in node.targets:
+                chain = _attr_chain(target)
+                if len(chain) == 2 and chain[0] == "self":
+                    attrs.add(chain[1])
+        return attrs
+
+    @staticmethod
+    def _self_reads(info):
+        """(node, attr) for every ``self.<attr>`` load in the method."""
+        from .contexts import own_nodes
+
+        for node in own_nodes(info.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                yield node, node.attr
+
+
+@register_dataflow_rule
+class DriverBlockingCall(DataflowRule):
+    """REP010: driver paths must not block without a timeout.
+
+    ``QueryService`` promises per-query deadlines, enforced at operator
+    boundaries — a promise an unbounded ``join()``, ``get()``,
+    ``wait()``, ``acquire()``, or ``time.sleep`` on the driver path can
+    outlast arbitrarily.  Calls that pass a timeout (or any argument,
+    for ``join``/``get``/``wait``) are fine; the driver's own top-level
+    idle wait (the seed function) is exempt — blocking on the admission
+    queue *between* queries is the designed behavior.
+    """
+
+    code = "REP010"
+    summary = "unbounded blocking call on a QueryService driver path"
+    severity = "warning"
+
+    _BLOCKING = {"join", "get", "wait", "acquire"}
+
+    def check_package(self, index) -> Iterator[Diagnostic]:
+        contexts = index.task_contexts()
+        for qual in sorted(contexts.driver - contexts.driver_seeds):
+            info = index.functions[qual]
+            module = index.modules[info.module]
+            sleep_names = {
+                local
+                for local, (mod, original) in module.from_imports.items()
+                if mod == "time" and original == "sleep"
+            }
+            from .contexts import own_nodes
+
+            for node in own_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                label = self._blocking_label(node, sleep_names)
+                if label is not None:
+                    yield module.ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"{qual} runs on a QueryService driver thread; "
+                        f"unbounded {label} ignores the per-query deadline "
+                        "— pass a timeout derived from the deadline",
+                    )
+
+    @classmethod
+    def _blocking_label(
+        cls, call: ast.Call, sleep_names: set[str]
+    ) -> str | None:
+        chain = _attr_chain(call.func)
+        if not chain:
+            return None
+        tail = chain[-1]
+        dotted = ".".join(chain)
+        if tail == "sleep" and (
+            (len(chain) >= 2 and chain[-2] == "time")
+            or (len(chain) == 1 and chain[0] in sleep_names)
+        ):
+            return f"{dotted}()"
+        kwargs = {kw.arg for kw in call.keywords}
+        if "timeout" in kwargs:
+            return None
+        if call.args:
+            return None
+        if tail in cls._BLOCKING and tail != "acquire":
+            return f"{dotted}()"
+        if tail == "acquire" and "blocking" not in kwargs:
+            return f"{dotted}()"
+        return None
+
+
+@register_dataflow_rule
+class SharedViewWriteAfterHandoff(DataflowRule):
+    """REP011: a SharedArray view handed to a task is frozen.
+
+    ``SharedArray`` views alias one buffer across tasks zero-copy; once
+    a view is passed to ``run_phase``/``run_chunks``/``.map``/
+    ``.submit``, an in-place numpy mutation on the dispatching side
+    races the task reading it.  Within one function body, a name bound
+    from ``SharedArray(...)`` or a ``.view()`` call must not be mutated
+    (subscript store, augmented assign, in-place ndarray method,
+    ``out=`` target) on a line after a dispatch call that received it,
+    unless rebound to a fresh object first.
+    """
+
+    code = "REP011"
+    summary = "SharedArray view mutated after handoff to a task"
+
+    def check_package(self, index) -> Iterator[Diagnostic]:
+        for qual, info in _function_items(index):
+            module = index.modules[info.module]
+            yield from self._check_function(index, module, info)
+
+    def _check_function(self, index, module, info) -> Iterator[Diagnostic]:
+        from .contexts import dispatch_kind, own_nodes
+
+        events: list[tuple[int, int, str, str, ast.AST]] = []
+        for node in own_nodes(info.node):
+            pos = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        kind = (
+                            "track"
+                            if self._is_shared_view(node.value)
+                            else "rebind"
+                        )
+                        events.append((*pos, kind, target.id, node))
+                    elif isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        events.append((*pos, "mutate", target.value.id, node))
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    events.append((*pos, "mutate", target.id, node))
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    events.append((*pos, "mutate", target.value.id, node))
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (
+                    len(chain) >= 2
+                    and chain[-1] in _INPLACE_METHODS
+                ):
+                    events.append((*pos, "mutate", chain[0], node))
+                for kw in node.keywords:
+                    if kw.arg == "out" and isinstance(kw.value, ast.Name):
+                        events.append((*pos, "mutate", kw.value.id, node))
+                if dispatch_kind(node) is not None:
+                    for name in self._argument_names(node):
+                        events.append((*pos, "handoff", name, node))
+
+        events.sort(key=lambda event: (event[0], event[1]))
+        tracked: set[str] = set()
+        handed: dict[str, int] = {}
+        for line, _col, kind, name, node in events:
+            if kind == "track":
+                tracked.add(name)
+                handed.pop(name, None)
+            elif kind == "rebind":
+                tracked.discard(name)
+                handed.pop(name, None)
+            elif kind == "handoff" and name in tracked:
+                handed.setdefault(name, line)
+            elif kind == "mutate" and name in handed:
+                yield module.ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"SharedArray view {name!r} is mutated after being "
+                    f"handed to a task on line {handed[name]}; the task "
+                    "reads the same buffer — mutate before dispatch or "
+                    "hand off a copy",
+                )
+
+    @staticmethod
+    def _is_shared_view(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        chain = _attr_chain(value.func)
+        if not chain:
+            return False
+        return chain[-1] in ("SharedArray", "view")
+
+    @staticmethod
+    def _argument_names(call: ast.Call) -> set[str]:
+        names: set[str] = set()
+        for arg in (*call.args, *(kw.value for kw in call.keywords)):
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+        return names

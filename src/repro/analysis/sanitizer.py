@@ -27,23 +27,133 @@ Enabling is process-global and reference-counted, so nested
 
 The tier-1 test suite runs entirely sanitized (see ``tests/conftest.py``;
 set ``REPRO_SANITIZE=0`` to opt out).
+
+Alongside the payload freezer, enabling installs a **race tracker**: the
+concurrency-critical structures (plan cache, warm executor pool, service
+counters) call :func:`track_shared` at each guarded access, recording
+which thread touched which shared object under which locks.  A
+cross-thread write/write or read/write pair with no lock in common
+raises :class:`~repro.errors.RaceError` deterministically at the second
+access — the runtime complement of the static REP007/REP009 rules.
+When the sanitizer is off, :func:`track_shared` is a single ``None``
+check and the hot paths pay nothing.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
 from ..cluster.network import Network
+from ..errors import RaceError
 
-__all__ = ["sanitizer_enable", "sanitizer_disable", "sanitizer_enabled", "sanitized"]
+__all__ = [
+    "sanitizer_enable",
+    "sanitizer_disable",
+    "sanitizer_enabled",
+    "sanitized",
+    "RaceTracker",
+    "race_tracker",
+    "shared_key",
+    "track_shared",
+]
 
 _lock = threading.Lock()
 _depth = 0
 _saved: dict[str, Any] = {}
+
+#: The process-wide tracker, alive while the sanitizer is enabled.
+_race_tracker: "RaceTracker | None" = None
+
+
+class RaceTracker:
+    """Record shared-object accesses and raise on unsynchronized conflict.
+
+    For every registered key the tracker keeps, per accessing thread,
+    the distinct *access shapes* seen so far: a ``(write, lock-ids)``
+    pair.  A new access conflicts when another thread holds a recorded
+    shape such that at least one side is a write and the two lock sets
+    are disjoint — no common lock means no ordering, and the pair is a
+    data race by definition.  The conflict raises at the second access,
+    on the thread performing it, so a test exercising a fixed
+    interleaving fails deterministically at the same line every run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: key -> {thread id -> (thread name, {(write, frozen lock ids)})}
+        self._accesses: dict[str, dict[int, tuple[str, set]]] = {}
+
+    def record(self, key: str, *, write: bool, locks: Iterable[Any] = ()) -> None:
+        """Record one access; raise :class:`RaceError` on conflict."""
+        tid = threading.get_ident()
+        name = threading.current_thread().name
+        shape = (bool(write), frozenset(id(lock) for lock in locks))
+        with self._lock:
+            per_key = self._accesses.setdefault(key, {})
+            for other_tid, (other_name, shapes) in per_key.items():
+                if other_tid == tid:
+                    continue
+                for other_write, other_locks in shapes:
+                    if not (shape[0] or other_write):
+                        continue
+                    if shape[1] & other_locks:
+                        continue
+                    kind = (
+                        "write/write"
+                        if shape[0] and other_write
+                        else "read/write"
+                    )
+                    raise RaceError(
+                        f"race on {key!r}: {kind} between threads "
+                        f"{other_name!r} and {name!r} with no common lock",
+                        key=key,
+                        kind=kind,
+                        threads=(other_name, name),
+                    )
+            mine = per_key.setdefault(tid, (name, set()))
+            mine[1].add(shape)
+
+    def keys(self) -> list[str]:
+        """Registered shared-object keys, sorted (for introspection)."""
+        with self._lock:
+            return sorted(self._accesses)
+
+
+def race_tracker() -> RaceTracker | None:
+    """The live tracker, or None while the sanitizer is disabled."""
+    return _race_tracker
+
+
+def track_shared(key: str, *, write: bool, locks: Iterable[Any] = ()) -> None:
+    """Record an access to a registered shared object (no-op when off).
+
+    Callers pass the lock *objects* they hold around the access; the
+    tracker compares identities, so the same lock reached through an
+    alias still counts as common coverage.
+    """
+    tracker = _race_tracker
+    if tracker is not None:
+        tracker.record(key, write=write, locks=locks)
+
+
+_shared_tokens = itertools.count()
+
+
+def shared_key(prefix: str) -> str:
+    """Mint a process-unique tracking key for one shared object.
+
+    Instrumented classes call this once at construction and reuse the
+    key at every :func:`track_shared` site.  ``id(self)`` is not a safe
+    suffix: ids are recycled after garbage collection, so a new object
+    could inherit a dead instance's recorded accesses (with different
+    lock identities) and trip a false race.  The counter never repeats.
+    """
+    return f"{prefix}#{next(_shared_tokens)}"
 
 #: Per-network attribute holding {id(array): (array, original_writeable)}
 #: for every array frozen during the currently open phase.
@@ -147,11 +257,12 @@ def _sanitized_abort_phase(self: Network) -> None:
 
 def sanitizer_enable() -> None:
     """Install the sanitizer on :class:`Network` (reference-counted)."""
-    global _depth
+    global _depth, _race_tracker
     with _lock:
         _depth += 1
         if _depth > 1:
             return
+        _race_tracker = RaceTracker()
         _saved["send"] = Network.send
         _saved["end_phase"] = Network.end_phase
         _saved["abort_phase"] = Network.abort_phase
@@ -162,13 +273,14 @@ def sanitizer_enable() -> None:
 
 def sanitizer_disable() -> None:
     """Drop one enable; the patch is removed when the count reaches zero."""
-    global _depth
+    global _depth, _race_tracker
     with _lock:
         if _depth == 0:
             return
         _depth -= 1
         if _depth > 0:
             return
+        _race_tracker = None
         Network.send = _saved.pop("send")  # type: ignore[method-assign]
         Network.end_phase = _saved.pop("end_phase")  # type: ignore[method-assign]
         Network.abort_phase = _saved.pop("abort_phase")  # type: ignore[method-assign]

@@ -67,6 +67,30 @@ class AnalysisError(ReproError):
     """The static-analysis engine was given an unreadable or invalid input."""
 
 
+class RaceError(AnalysisError):
+    """The runtime race sanitizer observed an unsynchronized conflict.
+
+    Raised deterministically at the *second* access of a cross-thread
+    write/write or read/write pair on a registered shared object when
+    the two accesses hold no lock in common.  ``key`` names the shared
+    object, ``kind`` the conflicting access pair (``"write/write"`` or
+    ``"read/write"``), and ``threads`` the two thread names involved.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: str | None = None,
+        kind: str | None = None,
+        threads: tuple[str, str] | None = None,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.kind = kind
+        self.threads = threads
+
+
 class ServeError(ReproError):
     """Base class of the concurrent query-service subsystem."""
 

@@ -82,7 +82,8 @@ class FaultInjector:
         """
         self.phase = 0
         self._rng = np.random.default_rng(self.plan.seed)
-        self._crash_attempts.clear()
+        with self._lock:
+            self._crash_attempts.clear()
 
     def begin_phase(self) -> None:
         """Advance the barrier counter (one call per ``Network.begin_phase``)."""
@@ -98,21 +99,26 @@ class FaultInjector:
             event for event in self.plan.stragglers if event.phase == self.phase
         ]
         if fired:
-            self.stats.stragglers += len(fired)
             delay = max(event.delay for event in fired)
-            self.clock += delay
-            self.stats.virtual_time += delay
+            # stats is also mutated from task threads (dedup, crashes)
+            # under the lock; coordinator-side updates take it too so
+            # every access shape shares the guard (REP009).
+            with self._lock:
+                self.stats.stragglers += len(fired)
+                self.clock += delay
+                self.stats.virtual_time += delay
 
     # -- message protocol (coordinator thread only) ----------------------
 
     def _retransmit(self, msg: Message, retry: int, ledger: TrafficLedger) -> None:
         """Account one retransmission: bytes, retry count, backoff time."""
-        self.stats.retries += 1
-        self.stats.retransmit_bytes += msg.nbytes
-        ledger.record_retransmit(msg.category, msg.nbytes)
         backoff = min(self.plan.backoff_cap, self.plan.backoff_base * 2 ** (retry - 1))
-        self.clock += backoff
-        self.stats.virtual_time += backoff
+        with self._lock:
+            self.stats.retries += 1
+            self.stats.retransmit_bytes += msg.nbytes
+            self.clock += backoff
+            self.stats.virtual_time += backoff
+        ledger.record_retransmit(msg.category, msg.nbytes)
 
     def transmit(self, msg: Message, ledger: TrafficLedger) -> list[Message]:
         """Deliver one remote message through the fault model.
@@ -127,7 +133,8 @@ class FaultInjector:
         rates = plan.rates_for(msg.category, msg.src, msg.dst)
         retries = 0
         while rates.drop and self._rng.random() < rates.drop:
-            self.stats.drops += 1
+            with self._lock:
+                self.stats.drops += 1
             if retries >= plan.max_retries:
                 raise FaultExhaustedError(
                     f"{msg.category.value} message {msg.src}->{msg.dst} "
@@ -144,13 +151,15 @@ class FaultInjector:
             # The original misses the barrier ack; the sender pays one
             # retransmission, and the delayed original still arrives
             # late as a duplicate the receiver dedups away.
-            self.stats.delays += 1
+            with self._lock:
+                self.stats.delays += 1
             retries += 1
             self._retransmit(msg, retries, ledger)
             out.append(self._copy(msg))
         if rates.duplicate and self._rng.random() < rates.duplicate:
-            self.stats.duplicates += 1
-            self.stats.retransmit_bytes += msg.nbytes
+            with self._lock:
+                self.stats.duplicates += 1
+                self.stats.retransmit_bytes += msg.nbytes
             ledger.record_retransmit(msg.category, msg.nbytes)
             out.append(self._copy(msg))
         return out
@@ -191,7 +200,8 @@ class FaultInjector:
             positions = by_src[src]
             rate = self.plan.reorder_rate_for(src, dst)
             if len(positions) >= 2 and rate and self._rng.random() < rate:
-                self.stats.reorders += 1
+                with self._lock:
+                    self.stats.reorders += 1
                 permutation = self._rng.permutation(len(positions))
                 batch = [out[position] for position in positions]
                 for position, source in zip(positions, permutation):

@@ -539,12 +539,14 @@ def lint_summary() -> dict:
     Recorded into ``BENCH_joins.json`` under ``"analysis"`` so the
     growth trajectory tracks determinism/aliasing lint state alongside
     perf.  The scan targets the installed package directory, so it works
-    from any working directory.
+    from any working directory, and includes the whole-package dataflow
+    pass (``"dataflow"``: module/function/call-edge counts, inferred
+    task-context sizes, and analysis wall time).
     """
     from ..analysis import lint_paths
 
     package_dir = Path(__file__).resolve().parents[1]
-    return lint_paths([package_dir]).summary()
+    return lint_paths([package_dir], dataflow=True).summary()
 
 
 def peak_rss_bytes() -> int | None:

@@ -24,6 +24,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..analysis.sanitizer import shared_key, track_shared
 from ..costmodel.stats import register_epoch_listener
 from ..errors import ValidationError
 from ..query.executor import PhysicalPlan, RunContext, compile_plan
@@ -60,6 +61,7 @@ class PlanCache:
             raise ValidationError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
+        self._track = shared_key("serve.cache.entries")
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -78,6 +80,7 @@ class PlanCache:
         """
         fingerprint = plan.fingerprint()
         with self._lock:
+            track_shared(self._track, write=True, locks=(self._lock,))
             entry = self._entries.get(fingerprint)
             if entry is not None:
                 self._entries.move_to_end(fingerprint)
@@ -88,6 +91,7 @@ class PlanCache:
         physical = compile_plan(plan, fuse_rekey=fuse_rekey)
         entry = CacheEntry(fingerprint=fingerprint, physical=physical)
         with self._lock:
+            track_shared(self._track, write=True, locks=(self._lock,))
             existing = self._entries.get(fingerprint)
             if existing is not None:
                 # A concurrent driver compiled the same plan first;
@@ -103,6 +107,7 @@ class PlanCache:
     def _on_epoch_bump(self, table: str | None, _epoch: int) -> None:
         """Eagerly drop entries whose statistics just went stale."""
         with self._lock:
+            track_shared(self._track, write=True, locks=(self._lock,))
             if table is None:
                 stale = list(self._entries)
             else:
@@ -122,6 +127,7 @@ class PlanCache:
     def stats(self) -> dict:
         """Counter snapshot: hits, misses, evictions, invalidations."""
         with self._lock:
+            track_shared(self._track, write=False, locks=(self._lock,))
             lookups = self.hits + self.misses
             return {
                 "entries": len(self._entries),

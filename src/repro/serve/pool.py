@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable
 
+from ..analysis.sanitizer import shared_key, track_shared
 from ..errors import ParallelError
 from ..parallel.executor import PhaseExecutor, ProcessExecutor, resolve_executor
 
@@ -49,6 +50,7 @@ class SharedExecutor(PhaseExecutor):
             threading.Lock() if isinstance(inner, ProcessExecutor) else None
         )
         self._dispatch_lock = threading.Lock()
+        self._track = shared_key("serve.pool.dispatch")
         self.dispatches = 0
         self.tasks = 0
 
@@ -59,12 +61,28 @@ class SharedExecutor(PhaseExecutor):
     def map(self, fn: Callable, items: Iterable) -> list:
         items = list(items)
         with self._dispatch_lock:
+            track_shared(
+                self._track, write=True, locks=(self._dispatch_lock,)
+            )
             self.dispatches += 1
             self.tasks += len(items)
         if self._lock is None:
             return self._inner.map(fn, items)
         with self._lock:
             return self._inner.map(fn, items)
+
+    def snapshot(self) -> tuple[int, int]:
+        """(dispatches, tasks) read atomically under the dispatch lock.
+
+        Concurrent drivers increment both counters under
+        ``_dispatch_lock``; reading them bare could observe one counter
+        from before a dispatch and the other from after it (REP009).
+        """
+        with self._dispatch_lock:
+            track_shared(
+                self._track, write=False, locks=(self._dispatch_lock,)
+            )
+            return self.dispatches, self.tasks
 
     def close(self) -> None:
         """No-op: the owning :class:`WarmExecutorPool` releases workers."""
@@ -99,6 +117,7 @@ class WarmExecutorPool:
         self.backend = backend
         self.executor = SharedExecutor(self._inner)
         self._lease_lock = threading.Lock()
+        self._track = shared_key("serve.pool.leases")
         self.leases = 0
         self._closed = False
         if warm:
@@ -117,25 +136,39 @@ class WarmExecutorPool:
 
     def lease(self) -> SharedExecutor:
         """Borrow the shared executor for one query (or cluster)."""
-        if self._closed:
-            raise ParallelError("cannot lease from a shut-down WarmExecutorPool")
+        # The closed check shares the lease lock: a lease racing a
+        # shutdown either sees _closed and raises, or wins the lock
+        # first and hands out the executor before close() runs (REP009).
         with self._lease_lock:
+            track_shared(self._track, write=True, locks=(self._lease_lock,))
+            if self._closed:
+                raise ParallelError(
+                    "cannot lease from a shut-down WarmExecutorPool"
+                )
             self.leases += 1
         return self.executor
 
     def stats(self) -> dict:
         """Dispatch accounting: leases, phase dispatches, tasks run."""
+        with self._lease_lock:
+            track_shared(
+                self._track, write=False, locks=(self._lease_lock,)
+            )
+            leases = self.leases
+        dispatches, tasks = self.executor.snapshot()
         return {
             "workers": self.workers,
             "backend": self.backend,
-            "leases": self.leases,
-            "dispatches": self.executor.dispatches,
-            "tasks": self.executor.tasks,
+            "leases": leases,
+            "dispatches": dispatches,
+            "tasks": tasks,
         }
 
     def shutdown(self) -> None:
         """Release the real worker pool (idempotent)."""
-        self._closed = True
+        with self._lease_lock:
+            track_shared(self._track, write=True, locks=(self._lease_lock,))
+            self._closed = True
         self._inner.close()
 
     def __enter__(self) -> "WarmExecutorPool":

@@ -39,6 +39,7 @@ import queue
 import threading
 from dataclasses import dataclass, field
 
+from ..analysis.sanitizer import shared_key, track_shared
 from ..cluster.cluster import Cluster
 from ..errors import AdmissionError, QueryTimeoutError, ValidationError
 from ..joins.base import JoinSpec
@@ -184,6 +185,7 @@ class QueryService:
         self.pool = WarmExecutorPool(workers, backend)
         self.cache = PlanCache(cache_capacity)
         self._counters = _ServiceCounters()
+        self._track = shared_key("serve.service.counters")
         self._sequence = itertools.count()
         self._queue: "queue.PriorityQueue[tuple]" = queue.PriorityQueue()
         self._closed = False
@@ -225,6 +227,7 @@ class QueryService:
             request = QueryRequest(plan=request)
         counters = self._counters
         with counters.lock:
+            track_shared(self._track, write=True, locks=(counters.lock,))
             if self._closed:
                 counters.rejected += 1
                 raise AdmissionError(
@@ -266,6 +269,9 @@ class QueryService:
             _, _, request, ticket, admitted_at, deadline = item
             counters = self._counters
             with counters.lock:
+                track_shared(
+                    self._track, write=True, locks=(counters.lock,)
+                )
                 counters.inflight += 1
                 counters.max_inflight_seen = max(
                     counters.max_inflight_seen, counters.inflight
@@ -275,6 +281,9 @@ class QueryService:
             except BaseException as error:  # repro: noqa[REP006] driver must survive; error reaches the caller via the ticket
                 outcome = QueryOutcome(tag=ticket.tag, ok=False, error=error)
             with counters.lock:
+                track_shared(
+                    self._track, write=True, locks=(counters.lock,)
+                )
                 counters.inflight -= 1
                 if outcome.ok:
                     counters.completed += 1
@@ -380,6 +389,9 @@ class QueryService:
         """Service, cache, and pool counters in one snapshot."""
         counters = self._counters
         with counters.lock:
+            track_shared(
+                self._track, write=False, locks=(counters.lock,)
+            )
             service = {
                 "admitted": counters.admitted,
                 "rejected": counters.rejected,
@@ -401,6 +413,9 @@ class QueryService:
     def close(self, wait: bool = True) -> None:
         """Stop admitting, let queued queries finish, release the pool."""
         with self._counters.lock:
+            track_shared(
+                self._track, write=True, locks=(self._counters.lock,)
+            )
             if self._closed:
                 return
             self._closed = True
