@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-scaling-smoke bench-serve bench-serve-smoke bench-full
+.PHONY: test test-exchange test-chaos lint bench bench-smoke bench-scaling bench-scaling-smoke bench-serve bench-serve-smoke bench-skew bench-skew-smoke bench-full
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +69,19 @@ bench-serve:
 # core-gated: 1-core runners record why it was skipped.
 bench-serve-smoke:
 	$(PYTHON) -m repro serve-bench queries=40 scaled_tuples=6000 num_nodes=4 clients=4
+
+# Skew ablation: plain 4TJ vs heavy-hitter-sharded 4TJ on the hot-key
+# Zipf workload; merges a "skew" section into BENCH_joins.json.
+bench-skew:
+	$(PYTHON) -m repro bench-skew
+
+# CI-sized skew gate: fails when sharding wins less than a 2x reduction
+# in max bytes received at any node, spends more than 1.25x the total
+# traffic of plain 4TJ, or the two operators' outputs diverge.  The
+# smaller table pairs with a finer hot-key threshold so the gate stays
+# sharp at reduced scale.
+bench-skew-smoke:
+	$(PYTHON) -m repro bench-skew scaled_tuples=30000 distinct_keys=3000 hot_fraction=0.02
 
 # Full Figure 3 workload at 1/256 paper scale (slow, ~minutes).
 bench-full:

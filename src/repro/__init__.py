@@ -38,6 +38,7 @@ Quickstart::
 from .cluster import Cluster, MessageClass, Network, TrafficLedger
 from .core import (
     BalanceAwareTrackJoin,
+    SkewShardTrackJoin,
     TrackJoin2,
     TrackJoin3,
     TrackJoin4,
@@ -117,6 +118,7 @@ __all__ = [
     "TrackJoin3",
     "TrackJoin4",
     "BalanceAwareTrackJoin",
+    "SkewShardTrackJoin",
     "Encoding",
     "FixedByteEncoding",
     "VarByteEncoding",

@@ -8,6 +8,7 @@ Usage::
     python -m repro all                  # run everything (slow)
     python -m repro bench-smoke          # tiny perf gate -> BENCH_joins.json
     python -m repro bench-scaling        # 1->N worker scaling curve
+    python -m repro bench-skew           # skew ablation: 4TJ vs sharded 4TJ
     python -m repro serve-bench          # concurrent query-service throughput
     python -m repro lint                 # REP static analysis over src/repro
     python -m repro lint --dataflow      # + whole-package REP007-REP011 pass
@@ -43,6 +44,7 @@ SUBCOMMANDS: dict[str, str] = {
     "<experiment-id>": "run one experiment (e.g. fig3; add bars=1 for ASCII bars)",
     "bench-smoke": "tiny-scale perf + chaos gate, writes BENCH_joins.json",
     "bench-scaling": "1->N worker scaling curve, merged into BENCH_joins.json",
+    "bench-skew": "4TJ vs sharded 4TJ on a hot-key workload, merged into BENCH_joins.json",
     "serve-bench": "concurrent query-service throughput vs one-at-a-time baseline",
     "lint": (
         "REP static analysis (paths..., --dataflow, --format text|json|sarif, "
@@ -277,6 +279,10 @@ def main(argv: list[str] | None = None) -> int:
         from .perf import bench_scaling_report
 
         return bench_scaling_report(**kwargs)
+    if command == "bench-skew":
+        from .perf import bench_skew_report
+
+        return bench_skew_report(**kwargs)
     if command == "serve-bench":
         from .serve import bench_serve_report
 

@@ -182,6 +182,20 @@ class TrafficLedger:
         """Recovery overhead bytes (retransmissions and duplicates)."""
         return float(sum(self.retransmit_by_class.values()))
 
+    @property
+    def max_received_bytes(self) -> float:
+        """Goodput bytes received by the most loaded node.
+
+        The skew metric of Section 5: minimal total traffic can still
+        concentrate transfers on one node; this is the concentration.
+        """
+        return float(max(self.received_by_node.values(), default=0.0))
+
+    @property
+    def max_sent_bytes(self) -> float:
+        """Goodput bytes sent by the most loaded node."""
+        return float(max(self.sent_by_node.values(), default=0.0))
+
     def class_bytes(self, category: MessageClass) -> float:
         """Bytes accounted under one message class."""
         return float(self.by_class.get(category, 0.0))

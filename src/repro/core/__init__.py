@@ -6,11 +6,13 @@ from .schedule import (
     BroadcastPlan,
     KeySchedule,
     ScheduleSet,
+    both_direction_plans,
     generate_schedules,
     migrate_and_broadcast,
     optimal_schedule,
     selective_broadcast_cost,
 )
+from .skew import ShardPlan, SkewShardTrackJoin, attach_shards, plan_shards
 from .track_join import TrackJoin2, TrackJoin3, TrackJoin4
 from .tracking import TrackingTable, run_tracking_phase
 
@@ -19,6 +21,11 @@ __all__ = [
     "TrackJoin3",
     "TrackJoin4",
     "BalanceAwareTrackJoin",
+    "SkewShardTrackJoin",
+    "ShardPlan",
+    "plan_shards",
+    "attach_shards",
+    "both_direction_plans",
     "TrackingTable",
     "run_tracking_phase",
     "BroadcastPlan",

@@ -5,22 +5,30 @@ transfers on a few nodes when locality is skewed: "If some nodes exhibit
 more locality than others, we need to take into account the balancing of
 transfers among nodes and not only aim for minimal network traffic."
 
-:class:`BalanceAwareTrackJoin` implements that extension.  Schedule
-generation proceeds exactly as in 4-phase track join, but destination
-choices are made against a running estimate of per-node *received*
-bytes: among candidate consolidation destinations whose cost is within
-``tolerance`` of the optimum, the least-loaded node wins, and keys are
-processed in random order so early keys do not systematically favour
-low-numbered nodes.
+:class:`BalanceAwareTrackJoin` implements that extension as a thin
+policy over the shared scheduling core: candidate evaluation — both
+directions' costs, migration masks, and default destinations for every
+key — comes from the same vectorized
+:func:`~repro.core.schedule.both_direction_plans` the 4-phase operator
+uses.  The policy then re-picks, against a running estimate of per-node
+*received* bytes:
+
+* the **direction**, when the two directions' costs are within
+  ``tolerance`` — the one whose surviving destinations are less loaded
+  wins;
+* the **consolidation destination**, for every key that migrates — any
+  surviving holder is cost-equivalent (Theorem 1), so the least-loaded
+  one (:func:`~repro.core.destinations.least_loaded`) wins.
+
+Keys whose choices depend on the load estimate are visited in seeded
+random order so early keys do not systematically favour low-numbered
+nodes; everything else — the candidate evaluation and the load
+contributions of the cost-determined keys — is vectorized.
 
 The result trades a bounded amount of extra traffic (at most
 ``tolerance`` per key, usually none) for a flatter receive distribution
-— measured by :meth:`~repro.joins.base.JoinResult.node_balance`.
-
-Implementation note: the per-key candidate evaluation is the scalar
-scheduling primitive, so this operator is intended for moderate key
-counts; the traffic-optimal :class:`~repro.core.track_join.TrackJoin4`
-remains the fast vectorized path.
+— measured by :meth:`~repro.joins.base.JoinResult.node_balance` and the
+ledger's :attr:`~repro.cluster.network.TrafficLedger.max_received_bytes`.
 """
 
 from __future__ import annotations
@@ -29,12 +37,9 @@ import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..joins.base import JoinSpec
-from ..storage.table import DistributedTable, LocalPartition
-from ..timing.profile import ExecutionProfile
-from ..util import segment_ids
-from .schedule import ScheduleSet, migrate_and_broadcast
-from .track_join import TrackJoin4, _execute_schedules
-from .tracking import run_tracking_phase
+from .destinations import least_loaded
+from .schedule import ScheduleSet, both_direction_plans, empty_schedule_set
+from .track_join import TrackJoin4
 
 __all__ = ["BalanceAwareTrackJoin"]
 
@@ -58,89 +63,101 @@ class BalanceAwareTrackJoin(TrackJoin4):
         self.tolerance = float(tolerance)
         self.seed = seed
 
-    def _execute(
+    def _make_schedules(
         self,
         cluster: Cluster,
-        table_r: DistributedTable,
-        table_s: DistributedTable,
+        tracking,
         spec: JoinSpec,
-        profile: ExecutionProfile,
-    ) -> list[LocalPartition]:
-        tracking = run_tracking_phase(
-            cluster, table_r, table_s, spec, profile, with_counts=True
-        )
-        key_width = table_r.schema.key_width(spec.encoding)
-        message_width = key_width + spec.location_width
+        location_width: float,
+        seg: np.ndarray,
+    ) -> ScheduleSet:
         num_entries = tracking.num_entries
         if num_entries == 0:
-            schedules = ScheduleSet(
-                tracking,
-                np.empty(0, dtype=bool),
-                np.empty(0),
-                np.empty(0),
-                np.empty(0),
-                np.empty(0, dtype=bool),
-                np.empty(0, dtype=np.int64),
-            )
-            return _execute_schedules(cluster, table_r, table_s, spec, profile, schedules)
-
-        seg = segment_ids(tracking.key_starts, num_entries)
+            return empty_schedule_set(tracking)
+        starts = tracking.key_starts
         num_keys = tracking.num_keys
-        direction_rs = np.zeros(num_keys, dtype=bool)
+        nodes = tracking.nodes
+        size_r, size_s = tracking.size_r, tracking.size_s
+
+        (cost_rs, mig_rs, dest_rs), (cost_sr, mig_sr, dest_sr) = both_direction_plans(
+            tracking, location_width, allow_migration=True, seg=seg
+        )
+
+        # Per-direction load ingredients, all vectorized.  Once a
+        # direction is chosen, a key's received bytes are fixed except
+        # for *where* the migrating target tuples consolidate: every
+        # surviving target holder receives the broadcast side's remote
+        # bytes, and one survivor (the policy's choice) additionally
+        # receives the migrated target bytes.
+        has_r, has_s = size_r > 0, size_s > 0
+        r_all = np.add.reduceat(size_r, starts)
+        s_all = np.add.reduceat(size_s, starts)
+        surv_rs = has_s & ~mig_rs  # RS: S is the (migrating) target side
+        surv_sr = has_r & ~mig_sr
+        recv_rs = np.where(surv_rs, r_all[seg] - size_r, 0.0)
+        recv_sr = np.where(surv_sr, s_all[seg] - size_s, 0.0)
+        migbytes_rs = np.add.reduceat(np.where(mig_rs, size_s, 0.0), starts)
+        migbytes_sr = np.add.reduceat(np.where(mig_sr, size_r, 0.0), starts)
+
+        # Keys needing a sequential, load-dependent choice: costs within
+        # tolerance (direction by load) or a migrating chosen plan
+        # (destination by load).  Everything else is fully determined.
+        tie = np.abs(cost_rs - cost_sr) <= self.tolerance
+        rs_cheaper = cost_rs < cost_sr
+        chosen_migrates = np.where(
+            tie, (dest_rs >= 0) | (dest_sr >= 0),
+            np.where(rs_cheaper, dest_rs >= 0, dest_sr >= 0),
+        )
+        choice = tie | chosen_migrates
+
+        direction_rs = rs_cheaper.copy()
         migrate = np.zeros(num_entries, dtype=bool)
         dest_node = np.full(num_keys, -1, dtype=np.int64)
-        cost = np.zeros(num_keys)
-        cost_rs = np.zeros(num_keys)
-        cost_sr = np.zeros(num_keys)
         received_load = np.zeros(cluster.num_nodes)
 
-        rng = np.random.default_rng(self.seed)
-        order = rng.permutation(num_keys)
-        key_ends = np.append(tracking.key_starts[1:], num_entries)
-        for key in order:
-            start, end = tracking.key_starts[key], key_ends[key]
-            entries = slice(start, end)
-            nodes = tracking.nodes[entries]
-            sizes_r = dict(zip(nodes.tolist(), tracking.size_r[entries].tolist()))
-            sizes_s = dict(zip(nodes.tolist(), tracking.size_s[entries].tolist()))
-            sizes_r = {n: v for n, v in sizes_r.items() if v > 0}
-            sizes_s = {n: v for n, v in sizes_s.items() if v > 0}
-            scheduler = int(tracking.t_nodes[key])
-            plan_rs = migrate_and_broadcast(sizes_r, sizes_s, scheduler, message_width)
-            plan_sr = migrate_and_broadcast(sizes_s, sizes_r, scheduler, message_width)
-            cost_rs[key], cost_sr[key] = plan_rs.cost, plan_sr.cost
-            rs_better = plan_rs.cost < plan_sr.cost
-            # Within tolerance, pick the direction whose destination set
-            # is less loaded.
-            if abs(plan_rs.cost - plan_sr.cost) <= self.tolerance:
-                load_rs = self._destination_load(sizes_s, plan_rs, received_load)
-                load_sr = self._destination_load(sizes_r, plan_sr, received_load)
-                rs_better = load_rs <= load_sr
-            direction_rs[key] = rs_better
-            plan = plan_rs if rs_better else plan_sr
-            broadcast = sizes_r if rs_better else sizes_s
-            targets = sizes_s if rs_better else sizes_r
-            cost[key] = plan.cost
+        # Bulk keys (cost-determined, no migration): fold their fixed
+        # broadcast receives into the load estimate up front.
+        bulk_entry = ~choice[seg]
+        entry_recv = np.where(direction_rs[seg], recv_rs, recv_sr)
+        bulk_rows = np.flatnonzero(bulk_entry & (entry_recv > 0))
+        np.add.at(received_load, nodes[bulk_rows], entry_recv[bulk_rows])
 
-            final_targets = [n for n in targets if n not in plan.migrating_nodes]
-            if plan.migrating_nodes:
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(np.flatnonzero(choice))
+        key_ends = np.append(starts[1:], num_entries)
+        for key in order:
+            entries = slice(starts[key], key_ends[key])
+            ns = nodes[entries]
+            if tie[key]:
+                # Within tolerance: direction whose busiest surviving
+                # destination is less loaded (ties prefer R -> S).
+                cand_rs = ns[surv_rs[entries]]
+                cand_sr = ns[surv_sr[entries]]
+                load_rs = received_load[cand_rs].max() if len(cand_rs) else 0.0
+                load_sr = received_load[cand_sr].max() if len(cand_sr) else 0.0
+                rs = bool(load_rs <= load_sr)
+            else:
+                rs = bool(rs_cheaper[key])
+            direction_rs[key] = rs
+            surv = surv_rs if rs else surv_sr
+            survivors = ns[surv[entries]]
+            if (dest_rs if rs else dest_sr)[key] >= 0 and len(survivors):
                 # Load-aware destination: any surviving holder is cost
                 # equivalent (Theorem 1), so pick the least loaded.
-                destination = min(final_targets, key=lambda n: received_load[n])
+                destination = least_loaded(survivors, received_load)
                 dest_node[key] = destination
-                migrating = set(plan.migrating_nodes)
-                for entry in range(start, end):
-                    holder = int(tracking.nodes[entry])
-                    if holder in migrating and targets.get(holder, 0) > 0:
-                        migrate[entry] = True
-                        received_load[destination] += targets[holder]
-            # Broadcast load: every final target receives the broadcast
-            # side's remote bytes.
-            total_broadcast = sum(broadcast.values())
-            for target in final_targets:
-                received_load[target] += total_broadcast - broadcast.get(target, 0.0)
+                migrate[entries] = (mig_rs if rs else mig_sr)[entries]
+                received_load[destination] += (
+                    migbytes_rs[key] if rs else migbytes_sr[key]
+                )
+            # Broadcast load: every surviving target receives the
+            # broadcast side's remote bytes.
+            received_load[survivors] += (recv_rs if rs else recv_sr)[entries][
+                surv[entries]
+            ]
 
-        schedules = ScheduleSet(
+        cost = np.where(direction_rs, cost_rs, cost_sr)
+        return ScheduleSet(
             tracking=tracking,
             direction_rs=direction_rs,
             cost=cost,
@@ -149,20 +166,3 @@ class BalanceAwareTrackJoin(TrackJoin4):
             migrate=migrate,
             dest_node=dest_node,
         )
-        per_tnode = np.bincount(
-            tracking.t_nodes[seg],
-            weights=np.full(num_entries, key_width + spec.location_width + spec.count_width_r),
-            minlength=cluster.num_nodes,
-        )
-        profile.add_cpu("Generate schedules and partition by node", "schedule", per_tnode)
-        return _execute_schedules(cluster, table_r, table_s, spec, profile, schedules)
-
-    @staticmethod
-    def _destination_load(
-        targets: dict[int, float], plan, received_load: np.ndarray
-    ) -> float:
-        """Current load of the busiest surviving destination of a plan."""
-        stay = [n for n in targets if n not in plan.migrating_nodes]
-        if not stay:
-            return 0.0
-        return float(max(received_load[n] for n in stay))

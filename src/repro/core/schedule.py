@@ -30,7 +30,13 @@ import numpy as np
 
 from ..errors import ScheduleError
 from ..fastpath import fused_enabled
-from ..util import segment_boundaries, segment_ids
+from ..util import segment_ids
+from .destinations import (
+    migration_delta,
+    paired_consolidation,
+    scalar_consolidation,
+    segmented_consolidation,
+)
 from .tracking import TrackingTable
 
 __all__ = [
@@ -40,6 +46,7 @@ __all__ = [
     "selective_broadcast_cost",
     "migrate_and_broadcast",
     "optimal_schedule",
+    "both_direction_plans",
     "generate_schedules",
 ]
 
@@ -120,34 +127,26 @@ def migrate_and_broadcast(
     if not holders:
         return BroadcastPlan(cost=cost, migration_cost=0.0, migrating_nodes=(), destination=None)
 
-    def migration_delta(i: int) -> float:
-        delta = (
-            broadcast_sizes.get(i, 0.0)
-            + target_sizes[i]
-            - r_all
-            - r_nodes * location_width
+    def delta_of(i: int) -> float:
+        return migration_delta(
+            broadcast_sizes.get(i, 0.0),
+            target_sizes[i],
+            r_all,
+            r_nodes,
+            location_width,
+            i == scheduler_node,
         )
-        if i != scheduler_node:
-            delta += location_width  # the migration instruction message
-        return delta
 
-    # One holder must stay (the migration destination).  Since the
-    # per-node decisions are independent (Theorem 1), the optimal node
-    # to force out of the migration set is the one whose migration
-    # would save the least — the maximal delta.  With a uniform message
-    # charge this is the paper's max |Ri| + |Si| rule; with the
+    # One holder must stay (the migration destination); the shared core
+    # forces out the maximal-delta holder and migrates every other
+    # holder with a negative delta.  With a uniform message charge the
+    # forced stay is the paper's max |Ri| + |Si| rule; with the
     # scheduler-local discount it also breaks ties correctly.
-    forced_stay = max(sorted(holders), key=migration_delta)
-    migrating: list[int] = []
+    forced_stay, migrating = scalar_consolidation(holders, delta_of)
     migration_cost = 0.0
-    for i in sorted(holders):
-        if i == forced_stay:
-            continue
-        delta = migration_delta(i)
-        if delta < 0:
-            cost += delta
-            migration_cost += target_sizes[i]
-            migrating.append(i)
+    for i in migrating:
+        cost += delta_of(i)
+        migration_cost += target_sizes[i]
     destination = forced_stay if migrating else None
     return BroadcastPlan(
         cost=cost,
@@ -201,11 +200,34 @@ class ScheduleSet:
     migrate: np.ndarray
     #: Per key: migration destination node (-1 when nothing migrates).
     dest_node: np.ndarray
+    #: Optional heavy-hitter sharding (``None`` ⇒ every key consolidates
+    #: at a single destination and execution is byte-identical to the
+    #: plain 4-phase plan).  ``sharded`` marks keys whose target side
+    #: splits row-wise across multiple destinations; per sharded key
+    #: ``k`` the destinations are ``shard_dests[shard_offsets[k]:
+    #: shard_offsets[k + 1]]`` and the broadcast side replicates to all
+    #: of them.  ``migrate``/``dest_node`` are cleared for sharded keys.
+    sharded: np.ndarray | None = None
+    #: CSR offsets into ``shard_dests``, length ``num_keys + 1``.
+    shard_offsets: np.ndarray | None = None
+    #: Concatenated shard destination node lists.
+    shard_dests: np.ndarray | None = None
 
     @property
     def num_keys(self) -> int:
         """Number of scheduled keys."""
         return len(self.direction_rs)
+
+    @property
+    def has_shards(self) -> bool:
+        """True when at least one key is sharded across destinations."""
+        return self.sharded is not None and bool(self.sharded.any())
+
+    def shard_dests_of(self, key: int) -> np.ndarray:
+        """Shard destination nodes of one key (empty when unsharded)."""
+        if self.shard_offsets is None or self.shard_dests is None:
+            return np.empty(0, dtype=np.int64)
+        return self.shard_dests[self.shard_offsets[key] : self.shard_offsets[key + 1]]
 
 
 def _direction_costs(
@@ -248,31 +270,13 @@ def _direction_costs(
         + np.where(not_scheduler, location_width, 0.0)
     )
 
-    # Forced-stay node: per key, the target-side holder whose migration
-    # would save the least (maximal delta) stays and becomes the
-    # destination; the per-node decisions are otherwise independent
-    # (Theorem 1).  Ties resolve to the lowest node, deterministically.
-    stay_score = np.where(has_t, delta, -np.inf)
-    maxima = np.maximum.reduceat(stay_score, starts)
-    is_max = stay_score == maxima[seg]
-    # First maximal position per segment.
-    first_max = np.zeros(num_entries, dtype=bool)
-    max_positions = np.flatnonzero(is_max)
-    if len(max_positions):
-        seg_of_max = seg[max_positions]
-        firsts = max_positions[segment_boundaries(seg_of_max)]
-        first_max[firsts] = True
-    migrate = has_t & ~first_max & (delta < 0)
-    savings = np.where(migrate, delta, 0.0)
-    cost = base + np.add.reduceat(savings, starts)
-
-    # Destination: the forced-stay holder's node, only for keys where
-    # anything migrates.
-    any_migration = np.add.reduceat(migrate.astype(np.int64), starts) > 0
-    stay_positions = np.flatnonzero(first_max)
-    if len(stay_positions):
-        dest[seg[stay_positions]] = nodes[stay_positions]
-    dest[~any_migration] = -1
+    # The shared destination-choice core: forced stay at the
+    # maximal-delta holder, migrate every other holder with a negative
+    # delta, consolidate at the forced-stay node (Theorem 1).
+    migrate, _, dest, savings = segmented_consolidation(
+        seg, starts, nodes, delta, has_t
+    )
+    cost = base + savings
     return cost, migrate, dest
 
 
@@ -361,20 +365,13 @@ def _both_direction_costs_paired(
             bn_lw = b_nodes * lw
             delta_a = size_sum_a - b_all - bn_lw + disc_a
             delta_b = size_sum_b - b_all - bn_lw + disc_b
-            stay_a = np.where(has_t_a, delta_a, -np.inf)
-            stay_b = np.where(has_t_b, delta_b, -np.inf)
-            maxima = np.maximum(stay_a, stay_b)
-            is_max_a = stay_a == maxima
-            first_b = (stay_b == maxima) & ~is_max_a
-            mig_a = has_t_a & ~is_max_a & (delta_a < 0)
-            mig_b = has_t_b & ~first_b & (delta_b < 0)
+            mig_a, mig_b, _, dest_block = paired_consolidation(
+                delta_a, delta_b, has_t_a, has_t_b, nodes_a, nodes_b
+            )
             cost[lo:hi] = base + (
                 np.where(mig_a, delta_a, 0.0) + np.where(mig_b, delta_b, 0.0)
             )
-            any_migration = mig_a | mig_b
-            dest[lo:hi] = np.where(
-                any_migration, np.where(is_max_a, nodes_a, nodes_b), np.int64(-1)
-            )
+            dest[lo:hi] = dest_block
             mig[a] = mig_a
             mig[second] = mig_b[two]
 
@@ -443,7 +440,6 @@ def _both_direction_costs_fused(
 
     size_sum = size_r + size_s
     scheduler_discount = np.where(not_scheduler, location_width, 0.0)
-    positions = np.arange(num_entries, dtype=np.int64)
 
     def one_direction(base, b_all, b_nodes, has_t):
         delta = (
@@ -452,24 +448,77 @@ def _both_direction_costs_fused(
             - (b_nodes * location_width)[seg]
             + scheduler_discount
         )
-        stay_score = np.where(has_t, delta, -np.inf)
-        maxima = np.maximum.reduceat(stay_score, starts)
-        is_max = stay_score == maxima[seg]
-        first_pos = np.minimum.reduceat(
-            np.where(is_max, positions, num_entries), starts
+        migrate, _, dest, savings = segmented_consolidation(
+            seg, starts, nodes, delta, has_t
         )
-        first_max = np.zeros(num_entries, dtype=bool)
-        first_max[first_pos] = True
-        migrate = has_t & ~first_max & (delta < 0)
-        cost = base + np.add.reduceat(np.where(migrate, delta, 0.0), starts)
-        any_migration = np.logical_or.reduceat(migrate, starts)
-        dest = np.where(any_migration, nodes[first_pos], np.int64(-1))
-        return cost, migrate, dest
+        return base + savings, migrate, dest
 
     return (
         one_direction(base_rs, r_all, r_nodes, has_s),
         one_direction(base_sr, s_all, s_nodes, has_r),
     )
+
+
+def both_direction_plans(
+    tracking: TrackingTable,
+    location_width: float = 1.0,
+    allow_migration: bool = True,
+    seg: np.ndarray | None = None,
+) -> tuple[tuple, tuple]:
+    """Both optimized directions' plans for every key at once.
+
+    Returns ``((cost_rs, migrate_rs, dest_rs), (cost_sr, migrate_sr,
+    dest_sr))`` — per-key costs and default destinations, per-entry
+    migration masks.  This is the vectorized candidate evaluation
+    shared by :func:`generate_schedules` and the load-aware policies
+    (:mod:`repro.core.balance`, :mod:`repro.core.skew`), which differ
+    only in how they pick a direction and destination from these plans.
+    """
+    starts = tracking.key_starts
+    num_entries = tracking.num_entries
+    if seg is None:
+        seg = segment_ids(starts, num_entries)
+    if fused_enabled():
+        return _both_direction_costs_fused(
+            seg,
+            starts,
+            tracking.nodes,
+            tracking.t_nodes,
+            tracking.size_r,
+            tracking.size_s,
+            location_width,
+            allow_migration,
+        )
+    t_node_of_entry = tracking.t_nodes[seg]
+    plan_rs = _direction_costs(
+        seg,
+        starts,
+        tracking.nodes,
+        t_node_of_entry,
+        tracking.size_r,
+        tracking.size_s,
+        location_width,
+        allow_migration,
+    )
+    plan_sr = _direction_costs(
+        seg,
+        starts,
+        tracking.nodes,
+        t_node_of_entry,
+        tracking.size_s,
+        tracking.size_r,
+        location_width,
+        allow_migration,
+    )
+    return plan_rs, plan_sr
+
+
+def empty_schedule_set(tracking: TrackingTable) -> ScheduleSet:
+    """A schedule set over zero tracked keys."""
+    empty_f = np.empty(0, dtype=np.float64)
+    empty_b = np.empty(0, dtype=bool)
+    empty_i = np.empty(0, dtype=np.int64)
+    return ScheduleSet(tracking, empty_b, empty_f, empty_f, empty_f, empty_b, empty_i)
 
 
 def generate_schedules(
@@ -499,48 +548,13 @@ def generate_schedules(
     starts = tracking.key_starts
     num_entries = tracking.num_entries
     if num_entries == 0:
-        empty_f = np.empty(0, dtype=np.float64)
-        empty_b = np.empty(0, dtype=bool)
-        empty_i = np.empty(0, dtype=np.int64)
-        return ScheduleSet(
-            tracking, empty_b, empty_f, empty_f, empty_f, empty_b, empty_i
-        )
+        return empty_schedule_set(tracking)
     if seg is None:
         seg = segment_ids(starts, num_entries)
 
-    if fused_enabled():
-        (cost_rs, mig_rs, dest_rs), (cost_sr, mig_sr, dest_sr) = _both_direction_costs_fused(
-            seg,
-            starts,
-            tracking.nodes,
-            tracking.t_nodes,
-            tracking.size_r,
-            tracking.size_s,
-            location_width,
-            allow_migration,
-        )
-    else:
-        t_node_of_entry = tracking.t_nodes[seg]
-        cost_rs, mig_rs, dest_rs = _direction_costs(
-            seg,
-            starts,
-            tracking.nodes,
-            t_node_of_entry,
-            tracking.size_r,
-            tracking.size_s,
-            location_width,
-            allow_migration,
-        )
-        cost_sr, mig_sr, dest_sr = _direction_costs(
-            seg,
-            starts,
-            tracking.nodes,
-            t_node_of_entry,
-            tracking.size_s,
-            tracking.size_r,
-            location_width,
-            allow_migration,
-        )
+    (cost_rs, mig_rs, dest_rs), (cost_sr, mig_sr, dest_sr) = both_direction_plans(
+        tracking, location_width, allow_migration, seg
+    )
 
     if forced_direction == "RS":
         direction_rs = np.ones(len(starts), dtype=bool)

@@ -1,0 +1,217 @@
+"""Heavy-hitter sharding: skew-resistant 4-phase track join.
+
+Track join's per-key optimum consolidates a key at a *single* node
+(Theorem 1): the migrating side's tuples move there, and the broadcast
+side converges on the survivors.  Under heavy skew that optimum is the
+problem — a hot key's bytes (both sides) pile onto one destination, so
+minimal total traffic comes with a maximal per-node peak
+(:attr:`~repro.cluster.network.TrafficLedger.max_received_bytes`).
+
+:class:`SkewShardTrackJoin` trades a bounded amount of replication for
+a flat load profile.  Keys that the optimal plan consolidates and whose
+combined bytes exceed ``hot_fraction`` of the total tracked bytes are
+*sharded*: their larger side is dealt row-wise across several
+destinations (:class:`~repro.exchange.migrate.ShardedMigrate`) picked
+least-loaded first (:func:`~repro.core.destinations.rank_by_load`), and
+the smaller side replicates to every shard so each output pair is still
+produced exactly once.  Dealing the larger side may flip the key's
+broadcast direction — replication is paid once per shard, so the
+replicated side must be the cheap one.  Cold keys keep their
+traffic-optimal schedule untouched: with no hot keys the plan (and
+therefore the byte ledger) is identical to plain
+:class:`~repro.core.track_join.TrackJoin4`.
+
+The planner is exact, not sketched: tracking already delivers per-key,
+per-node byte counts to the scheduling nodes, so hot keys are read off
+the tracked sizes directly.  The sketch-based detector
+(:func:`repro.costmodel.histogram.heavy_hitters`) serves the cost model
+before execution, when only samples exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..errors import ValidationError
+from ..joins.base import JoinSpec
+from ..util import segment_ids
+from .destinations import rank_by_load
+from .schedule import ScheduleSet, generate_schedules
+from .track_join import TrackJoin4
+from .tracking import TrackingTable
+
+__all__ = ["SkewShardTrackJoin", "ShardPlan", "plan_shards", "attach_shards"]
+
+
+@dataclass
+class ShardPlan:
+    """Shard destinations for the heavy hitters of one schedule set."""
+
+    #: Per key: True when the key is sharded.
+    sharded: np.ndarray
+    #: CSR offsets into ``dests``, length ``num_keys + 1``.
+    offsets: np.ndarray
+    #: Concatenated shard destination node lists.
+    dests: np.ndarray
+    #: Per key: broadcast direction after sharding (sharding deals the
+    #: larger side, which may flip the traffic-optimal direction).
+    direction_rs: np.ndarray
+
+
+def plan_shards(
+    tracking: TrackingTable,
+    schedules: ScheduleSet,
+    num_nodes: int,
+    hot_fraction: float = 0.05,
+    max_shards: int | None = None,
+    seg: np.ndarray | None = None,
+) -> ShardPlan | None:
+    """Pick shard destinations for the heavy hitters of a schedule set.
+
+    A key is *hot* when the optimal plan consolidates it
+    (``dest_node >= 0``) and its combined tracked bytes exceed
+    ``hot_fraction`` of the total — exactly the keys whose bytes the
+    single-destination optimum piles onto one node.  A hot key's larger
+    side is split over ``ceil(larger_bytes / (hot_fraction *
+    total_bytes))`` shards (capped at ``min(num_nodes, max_shards)``),
+    assigned least-loaded first against the cold keys' estimated
+    per-node received bytes.  Hot keys are placed in descending
+    combined-size order so the largest key gets the emptiest nodes; the
+    order (and hence the plan) is deterministic.
+
+    Returns a :class:`ShardPlan`, or ``None`` when no key qualifies (or
+    the cluster cannot split: fewer than two nodes).
+    """
+    if num_nodes < 2 or tracking.num_entries == 0:
+        return None
+    starts = tracking.key_starts
+    if seg is None:
+        seg = segment_ids(starts, tracking.num_entries)
+    size_r, size_s = tracking.size_r, tracking.size_s
+    r_all = np.add.reduceat(size_r, starts)
+    s_all = np.add.reduceat(size_s, starts)
+    total = float(size_r.sum() + size_s.sum())
+    if total <= 0.0:
+        return None
+
+    hot = (schedules.dest_node >= 0) & (r_all + s_all > hot_fraction * total)
+    if not hot.any():
+        return None
+
+    # Sharded keys deal their larger side: the dealt side is paid once,
+    # the replicated side once *per shard*, so replicate the cheap one.
+    direction_rs = np.where(hot, s_all >= r_all, schedules.direction_rs)
+    t_all = np.where(direction_rs, s_all, r_all)
+    b_all = np.where(direction_rs, r_all, s_all)
+    cap = num_nodes if max_shards is None else min(num_nodes, max_shards)
+    num_shards = np.clip(
+        np.ceil(t_all / (hot_fraction * total)).astype(np.int64), 2, cap
+    )
+
+    # Estimated received bytes per node under the *cold* keys' plan:
+    # every surviving target holder receives the broadcast side's
+    # remote bytes, and each migration destination the moved bytes.
+    dir_e = schedules.direction_rs[seg]
+    size_b = np.where(dir_e, size_r, size_s)
+    size_t = np.where(dir_e, size_s, size_r)
+    cold_b_all = np.where(schedules.direction_rs, r_all, s_all)
+    surv = (size_t > 0) & ~schedules.migrate & ~hot[seg]
+    recv = cold_b_all[seg] - size_b
+    load = np.zeros(num_nodes)
+    np.add.at(load, tracking.nodes[surv], recv[surv])
+    migbytes = np.add.reduceat(np.where(schedules.migrate, size_t, 0.0), starts)
+    cold_mig = np.flatnonzero((schedules.dest_node >= 0) & ~hot)
+    np.add.at(load, schedules.dest_node[cold_mig], migbytes[cold_mig])
+
+    # Largest hot keys first (ties broken by key index via the stable
+    # lexsort), each taking the currently least-loaded nodes.
+    hot_keys = np.flatnonzero(hot)
+    order = hot_keys[np.lexsort((hot_keys, -(r_all + s_all)[hot_keys]))]
+    offsets = np.zeros(tracking.num_keys + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(np.where(hot, num_shards, 0))
+    dests = np.empty(offsets[-1], dtype=np.int64)
+    for key in order:
+        chosen = rank_by_load(load, int(num_shards[key]))
+        dests[offsets[key] : offsets[key + 1]] = chosen
+        # Each shard absorbs its deal of the dealt side plus a full
+        # replica of the broadcast side.
+        load[chosen] += t_all[key] / len(chosen) + b_all[key]
+    return ShardPlan(hot, offsets, dests, direction_rs)
+
+
+def attach_shards(
+    schedules: ScheduleSet,
+    plan: ShardPlan | None,
+    seg: np.ndarray | None = None,
+) -> ScheduleSet:
+    """Graft a shard plan onto a schedule set.
+
+    Sharded keys leave the single-destination machinery entirely: their
+    ``migrate`` bits and ``dest_node`` are cleared so Phase A's plain
+    migrations and Phase B's tracked-entry broadcasts skip them, their
+    direction follows the plan, and the sharding arrays take over.
+    ``plan=None`` returns the input unchanged.
+    """
+    if plan is None:
+        return schedules
+    tracking = schedules.tracking
+    if seg is None:
+        seg = segment_ids(tracking.key_starts, tracking.num_entries)
+    return replace(
+        schedules,
+        direction_rs=plan.direction_rs,
+        migrate=schedules.migrate & ~plan.sharded[seg],
+        dest_node=np.where(plan.sharded, -1, schedules.dest_node),
+        sharded=plan.sharded,
+        shard_offsets=plan.offsets,
+        shard_dests=plan.dests,
+    )
+
+
+class SkewShardTrackJoin(TrackJoin4):
+    """4-phase track join with heavy-hitter sharding.
+
+    Parameters
+    ----------
+    hot_fraction:
+        A consolidating key is sharded when its combined tracked bytes
+        exceed this fraction of the total; it also sizes the shards
+        (each shard's deal targets at most ``hot_fraction`` of the
+        total).
+    max_shards:
+        Optional cap on shards per key (default: the node count).
+    """
+
+    name = "4TJ-shard"
+
+    def __init__(self, hot_fraction: float = 0.05, max_shards: int | None = None):
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValidationError(
+                f"hot_fraction must be in (0, 1], got {hot_fraction}"
+            )
+        self.hot_fraction = float(hot_fraction)
+        self.max_shards = max_shards
+
+    def _make_schedules(
+        self,
+        cluster: Cluster,
+        tracking: TrackingTable,
+        spec: JoinSpec,
+        location_width: float,
+        seg: np.ndarray,
+    ) -> ScheduleSet:
+        schedules = generate_schedules(
+            tracking, location_width=location_width, allow_migration=True, seg=seg
+        )
+        plan = plan_shards(
+            tracking,
+            schedules,
+            cluster.num_nodes,
+            hot_fraction=self.hot_fraction,
+            max_shards=self.max_shards,
+            seg=seg,
+        )
+        return attach_shards(schedules, plan, seg=seg)

@@ -32,7 +32,7 @@ from ..cluster.network import MessageClass
 from ..errors import ValidationError
 from ..exchange.gather import absorb_received
 from ..exchange.locations import LocationExchange
-from ..exchange.migrate import Migrate
+from ..exchange.migrate import Migrate, ShardedMigrate
 from ..exchange.selective import SelectiveBroadcast
 from ..fastpath import fused_enabled
 from ..joins.base import DistributedJoin, JoinSpec
@@ -104,15 +104,34 @@ class _TrackJoinBase(DistributedJoin):
         # have size equal to M"), so schedules are generated with the
         # full wire width of a (key, node) pair — keeping migration
         # decisions consistent with the bytes actually sent.
-        schedules = generate_schedules(
-            tracking,
-            location_width=key_width + spec.location_width,
-            allow_migration=self.allow_migration,
-            forced_direction=self.forced_direction,
-            seg=seg,
+        schedules = self._make_schedules(
+            cluster, tracking, spec, key_width + spec.location_width, seg
         )
         return _execute_schedules(
             cluster, table_r, table_s, spec, profile, schedules, seg=seg
+        )
+
+    def _make_schedules(
+        self,
+        cluster: Cluster,
+        tracking,
+        spec: JoinSpec,
+        location_width: float,
+        seg: np.ndarray,
+    ) -> ScheduleSet:
+        """Schedule-generation hook.
+
+        The base operators take the traffic-optimal plan; policy
+        subclasses (:mod:`repro.core.balance`, :mod:`repro.core.skew`)
+        override only this method to re-pick destinations from the same
+        shared candidate evaluation.
+        """
+        return generate_schedules(
+            tracking,
+            location_width=location_width,
+            allow_migration=self.allow_migration,
+            forced_direction=self.forced_direction,
+            seg=seg,
         )
 
 
@@ -199,12 +218,19 @@ def _execute_schedules(
     entry_dir_sr = ~entry_dir_rs
     has_r = tracking.size_r > 0
     has_s = tracking.size_s > 0
+    # Heavy-hitter sharding: per-entry marker of sharded keys, or None —
+    # with no shards every code path below is identical to the plain
+    # single-destination plan, byte for byte.
+    sh_entry = sched.sharded[seg] if sched.has_shards else None
 
     # ---- Phase A: migrations (4-phase only; sched.migrate is all-False
     # otherwise).  For RS keys the S side consolidates, for SR keys R.
     # The two directions touch disjoint holder lists (work["S"] vs
     # work["R"]) and neither reads the other's sends, so a pipelined
-    # window may fuse them under one barrier.
+    # window may fuse them under one barrier.  Sharded keys consolidate
+    # separately: every target-side holder deals its rows across the
+    # key's shard destinations (their ``sched.migrate`` bits are clear,
+    # so the plain migration pass never touches them).
     with cluster.pipelined_phases():
         for side, entry_mask in (
             ("S", sched.migrate & entry_dir_rs),
@@ -214,6 +240,15 @@ def _execute_schedules(
                 cluster, spec, profile, tracking, seg, sched, side, entry_mask,
                 work, widths, key_width,
             )
+        if sh_entry is not None:
+            for side, entry_mask in (
+                ("S", sh_entry & entry_dir_rs & has_s),
+                ("R", sh_entry & entry_dir_sr & has_r),
+            ):
+                _run_shard_migrations(
+                    cluster, spec, profile, tracking, seg, sched, side,
+                    entry_mask, work, widths, key_width,
+                )
     # Consolidation barrier: moved tuples join their destination's local
     # fragment before the selective broadcasts run against it.
     absorb_received(
@@ -235,16 +270,47 @@ def _execute_schedules(
         ):
             has_b = has_r if b_side == "R" else has_s
             has_t = has_s if b_side == "R" else has_r
-            b_idx = np.flatnonzero(key_is_this_dir & has_b)
-            d_idx = np.flatnonzero(key_is_this_dir & has_t & not_migrating)
-            if len(b_idx) == 0 or len(d_idx) == 0:
+            b_mask = key_is_this_dir & has_b
+            d_mask = key_is_this_dir & has_t & not_migrating
+            if sh_entry is not None:
+                # Sharded keys broadcast to their shard destinations
+                # instead of the tracked target entries (whose tuples
+                # were dealt away in Phase A).
+                b_mask = b_mask & ~sh_entry
+                d_mask = d_mask & ~sh_entry
+            b_idx = np.flatnonzero(b_mask)
+            d_idx = np.flatnonzero(d_mask)
+            if len(b_idx) and len(d_idx):
+                seg_b = seg[b_idx]
+                ia, ib = segmented_cartesian(seg_b, seg[d_idx])
+                pair_src = tracking.nodes[b_idx][ia]
+                pair_dst = tracking.nodes[d_idx][ib]
+                pair_key = tracking.keys[b_idx][ia]
+                pair_t = tracking.t_nodes[seg_b][ia]
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                pair_src = pair_dst = pair_key = pair_t = empty
+            if sh_entry is not None:
+                # Each broadcast-side holder of a sharded key replicates
+                # its tuples to *every* shard, so each of the dealt
+                # target rows meets each matching broadcast row exactly
+                # once.
+                sb_idx = np.flatnonzero(key_is_this_dir & has_b & sh_entry)
+                if len(sb_idx):
+                    sb_seg = seg[sb_idx]
+                    off = sched.shard_offsets
+                    counts = (off[sb_seg + 1] - off[sb_seg]).astype(np.int64)
+                    rep = np.repeat(np.arange(len(sb_idx)), counts)
+                    within = np.arange(int(counts.sum())) - np.repeat(
+                        np.cumsum(counts) - counts, counts
+                    )
+                    dests = sched.shard_dests[np.repeat(off[sb_seg], counts) + within]
+                    pair_src = np.concatenate([pair_src, tracking.nodes[sb_idx][rep]])
+                    pair_dst = np.concatenate([pair_dst, dests])
+                    pair_key = np.concatenate([pair_key, tracking.keys[sb_idx][rep]])
+                    pair_t = np.concatenate([pair_t, tracking.t_nodes[sb_seg][rep]])
+            if len(pair_src) == 0:
                 continue
-            seg_b = seg[b_idx]
-            ia, ib = segmented_cartesian(seg_b, seg[d_idx])
-            pair_src = tracking.nodes[b_idx][ia]
-            pair_dst = tracking.nodes[d_idx][ib]
-            pair_key = tracking.keys[b_idx][ia]
-            pair_t = tracking.t_nodes[seg_b][ia]
             _locations(spec, key_width, f"Tran. {b_side} → {t_side} keys, nodes").run(
                 cluster, profile, pair_t, pair_src, pair_dst
             )
@@ -353,3 +419,53 @@ def _run_migrations(
         transfer_step=f"Transfer {side} → {other} tuples",
         copy_step=f"Local copy {side} tuples ({side} migration)",
     ).run(cluster, profile, work[side], mig_keys, mig_nodes, mig_dest)
+
+
+def _run_shard_migrations(
+    cluster: Cluster,
+    spec: JoinSpec,
+    profile: ExecutionProfile,
+    tracking,
+    seg: np.ndarray,
+    sched: ScheduleSet,
+    side: str,
+    entry_mask: np.ndarray,
+    work: dict[str, list[LocalPartition]],
+    widths: dict[str, float],
+    key_width: float,
+) -> None:
+    """Instruct hot keys' target-side holders to deal across the shards.
+
+    The sharded analogue of :func:`_run_migrations`: every target-side
+    holder of a sharded key receives one (key, destination) instruction
+    per shard, then deals its matching tuples cyclically over that list
+    (:class:`~repro.exchange.migrate.ShardedMigrate`).
+    """
+    idx = np.flatnonzero(entry_mask)
+    if len(idx) == 0:
+        return
+    entry_key = seg[idx]
+    off = sched.shard_offsets
+    counts = (off[entry_key + 1] - off[entry_key]).astype(np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    within = np.arange(offsets[-1]) - np.repeat(offsets[:-1], counts)
+    flat = sched.shard_dests[np.repeat(off[entry_key], counts) + within]
+
+    # Shard instructions: one (key, destination) message per
+    # (holder, shard) pair, accounted like migration instructions.
+    rep = np.repeat(np.arange(len(idx)), counts)
+    other = "R" if side == "S" else "S"
+    _locations(spec, key_width, f"Tran. {other} → {side} keys, nodes").run(
+        cluster, profile, tracking.t_nodes[entry_key][rep],
+        tracking.nodes[idx][rep], flat,
+    )
+
+    ShardedMigrate(
+        category=MessageClass.R_TUPLES if side == "R" else MessageClass.S_TUPLES,
+        width=widths[side],
+        transfer_step=f"Transfer {side} → {other} tuples",
+        copy_step=f"Local copy {side} tuples ({side} migration)",
+    ).run(
+        cluster, profile, work[side], tracking.keys[idx], tracking.nodes[idx],
+        offsets, flat,
+    )

@@ -11,10 +11,16 @@ from .formulas import (
     track2_cost,
     track3_cost,
     track4_cost,
+    track4_shard_cost,
     track_join_beats_hash_join_width_rule,
     tracking_aware_cost,
 )
-from .histogram import KeyHistogram, estimate_distinct, stats_from_histograms
+from .histogram import (
+    KeyHistogram,
+    estimate_distinct,
+    heavy_hitters,
+    stats_from_histograms,
+)
 from .optimizer import AlgorithmEstimate, choose_algorithm, rank_algorithms
 from .sampling import CorrelatedSample, correlated_sample, estimate_classes
 from .stats import (
@@ -31,6 +37,7 @@ __all__ = [
     "register_epoch_listener",
     "KeyHistogram",
     "estimate_distinct",
+    "heavy_hitters",
     "stats_from_histograms",
     "CorrelationClasses",
     "hash_join_cost",
@@ -38,6 +45,7 @@ __all__ = [
     "track2_cost",
     "track3_cost",
     "track4_cost",
+    "track4_shard_cost",
     "late_materialization_cost",
     "tracking_aware_cost",
     "filtered_hash_join_cost",

@@ -22,7 +22,12 @@ from ..storage.table import DistributedTable
 from ..util import mix64
 from .stats import JoinStats
 
-__all__ = ["KeyHistogram", "estimate_distinct", "stats_from_histograms"]
+__all__ = [
+    "KeyHistogram",
+    "estimate_distinct",
+    "heavy_hitters",
+    "stats_from_histograms",
+]
 
 
 def estimate_distinct(keys: np.ndarray, num_registers: int = 1024) -> float:
@@ -60,6 +65,49 @@ def estimate_distinct(keys: np.ndarray, num_registers: int = 1024) -> float:
         # Linear counting for small cardinalities.
         estimate = num_registers * np.log(num_registers / zero_registers)
     return float(estimate)
+
+
+def heavy_hitters(
+    keys: np.ndarray, threshold: float = 0.05
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact heavy hitters: keys holding more than ``threshold`` of the rows.
+
+    Reuses the synopsis machinery rather than a full group-by.  With
+    ``ceil(2 / threshold)`` equi-depth quantiles, consecutive quantile
+    points are at most ``threshold / 2`` of the rows apart, so any key
+    frequent enough must repeat as a raw quantile value — the repeated
+    values are a small candidate set (at most ``~2 / threshold``), and
+    one exact count per candidate confirms or rejects it.  Before any of
+    that, the distinct-count sketch short-circuits columns that provably
+    cannot contain a heavy hitter: with ``d`` distinct keys the most
+    frequent one has at most ``total - d + 1`` rows (the ``0.8`` factor
+    absorbs sketch error).
+
+    Returns ``(hot_keys, counts)`` sorted by key, both empty when no
+    key's frequency *strictly* exceeds the threshold.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if not 0.0 < threshold <= 1.0:
+        raise CostModelError(f"threshold must be in (0, 1], got {threshold}")
+    total = len(keys)
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    if total == 0:
+        return empty
+    frequency_bound = total - 0.8 * estimate_distinct(keys) + 1
+    if frequency_bound <= threshold * total:
+        return empty
+    num_quantiles = int(np.ceil(2.0 / threshold))
+    quantiles = np.quantile(keys, np.linspace(0, 1, num_quantiles + 1))
+    values = quantiles.astype(np.int64)
+    candidates = np.unique(values[:-1][values[1:] == values[:-1]])
+    if len(candidates) == 0:
+        return empty
+    ordered = np.sort(keys)
+    counts = np.searchsorted(ordered, candidates, side="right") - np.searchsorted(
+        ordered, candidates, side="left"
+    )
+    keep = counts > threshold * total
+    return candidates[keep], counts[keep].astype(np.int64)
 
 
 @dataclass

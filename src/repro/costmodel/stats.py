@@ -127,6 +127,11 @@ class JoinStats:
     selectivity_r: float = 1.0
     selectivity_s: float = 1.0
     location_width: float = 1.0
+    #: Fraction of all rows held by the most frequent join key (both
+    #: sides combined, symmetric under :meth:`swapped`); populated from
+    #: :func:`~repro.costmodel.histogram.heavy_hitters`.  ``0`` means
+    #: "no skew known" and keeps every formula at its uniform estimate.
+    max_key_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -141,7 +146,7 @@ class JoinStats:
             raise CostModelError(
                 f"distinct_s={self.distinct_s} inconsistent with tuples_s={self.tuples_s}"
             )
-        for name in ("selectivity_r", "selectivity_s"):
+        for name in ("selectivity_r", "selectivity_s", "max_key_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise CostModelError(f"{name} must be in [0, 1], got {value}")
@@ -202,4 +207,5 @@ class JoinStats:
             selectivity_r=self.selectivity_s,
             selectivity_s=self.selectivity_r,
             location_width=self.location_width,
+            max_key_fraction=self.max_key_fraction,
         )

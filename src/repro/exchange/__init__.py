@@ -16,6 +16,7 @@ Operator               Pattern
 :func:`replicate_size` accounting-only broadcast of a fixed-size blob
 :class:`SelectiveBroadcast`  location-directed tuple sends (Sec 2.2)
 :class:`Migrate`       consolidation moves of 4-phase track join (Sec 2.5)
+:class:`ShardedMigrate`  heavy-hitter splits across several destinations
 :class:`LocationExchange`    (key, node) scheduler instruction streams
 :class:`Gather`        barrier drains of per-node inboxes
 =====================  =====================================================
@@ -30,7 +31,7 @@ from .base import account_transfer, send_rows, send_split
 from .broadcast import Broadcast, replicate_size
 from .gather import Gather, absorb_received, drain_category, drain_payloads, flush
 from .locations import LocationExchange
-from .migrate import Migrate
+from .migrate import Migrate, ShardedMigrate
 from .selective import SelectiveBroadcast
 from .shuffle import KeyShuffle, Shuffle
 
@@ -40,6 +41,7 @@ __all__ = [
     "Broadcast",
     "SelectiveBroadcast",
     "Migrate",
+    "ShardedMigrate",
     "LocationExchange",
     "Gather",
     "account_transfer",

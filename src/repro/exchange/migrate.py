@@ -23,7 +23,7 @@ from ..timing.profile import ExecutionProfile
 from ..util import stable_argsort_bounded
 from .base import send_split
 
-__all__ = ["Migrate"]
+__all__ = ["Migrate", "ShardedMigrate"]
 
 
 @dataclass
@@ -105,6 +105,95 @@ class Migrate:
         # phase runs one task per *instructed holder*, not per node.
         cluster.run_phase(
             migrate_holder,
+            tasks=len(node_groups),
+            profile=profile,
+            task_nodes=[node for node, _ in node_groups],
+        )
+
+
+@dataclass
+class ShardedMigrate:
+    """Split each holder's matching tuples across several destinations.
+
+    The heavy-hitter extension of :class:`Migrate`: where a plain
+    migration consolidates a (key, holder)'s tuples at one node, a
+    sharded migration deals them round-robin over the key's shard
+    destination list, so no single node absorbs a hot key's whole build
+    side.  Row order within the holder decides the deal, making the
+    split deterministic for every worker count.
+    """
+
+    category: MessageClass
+    width: float
+    transfer_step: str
+    copy_step: str
+
+    def run(
+        self,
+        cluster: Cluster,
+        profile: ExecutionProfile,
+        holders: MutableSequence[LocalPartition],
+        keys: np.ndarray,
+        nodes: np.ndarray,
+        dest_offsets: np.ndarray,
+        dest_nodes: np.ndarray,
+    ) -> None:
+        """One phase: each instructed holder deals its rows to the shards.
+
+        ``keys``/``nodes`` are parallel instruction arrays; instruction
+        ``i`` moves the tuples of ``keys[i]`` held at ``nodes[i]`` to
+        the destinations ``dest_nodes[dest_offsets[i]:dest_offsets[i +
+        1]]``, one row at a time in cyclic order.  ``holders`` is
+        mutated in place like :meth:`Migrate.run`; a destination that is
+        the holder itself keeps its deal as a local copy.
+        """
+        order = np.argsort(nodes, kind="stable")
+        bounds = np.searchsorted(nodes[order], np.arange(cluster.num_nodes + 1))
+        node_groups = [
+            (node, order[bounds[node] : bounds[node + 1]])
+            for node in range(cluster.num_nodes)
+            if bounds[node + 1] > bounds[node]
+        ]
+
+        def shard_holder(group: int) -> None:
+            node, instr_sel = node_groups[group]
+            keys_here = keys[instr_sel]
+            local = holders[node]
+            right_partition = local if fused_enabled() and local.num_rows else None
+            pair_pos, rows = join_indices(
+                keys_here, local.keys, right_partition=right_partition
+            )
+            if len(rows) == 0:
+                return
+            # Group the matched rows by instruction, keeping their
+            # relative order, then deal each group cyclically over its
+            # destination list.
+            grouping = np.argsort(pair_pos, kind="stable")
+            grouped_pos = pair_pos[grouping]
+            group_starts = np.flatnonzero(
+                np.r_[True, grouped_pos[1:] != grouped_pos[:-1]]
+            )
+            within = np.arange(len(grouped_pos)) - np.repeat(
+                group_starts, np.diff(np.append(group_starts, len(grouped_pos)))
+            )
+            instr = instr_sel[grouped_pos]
+            num_dests = (dest_offsets[instr + 1] - dest_offsets[instr]).astype(
+                np.int64
+            )
+            destinations = dest_nodes[dest_offsets[instr] + within % num_dests]
+            keep = np.ones(local.num_rows, dtype=bool)
+            keep[rows] = False
+            batches = local.split_by(
+                destinations, cluster.num_nodes, rows=rows[grouping]
+            )
+            holders[node] = local.take(np.flatnonzero(keep))
+            send_split(
+                cluster, profile, self.category, int(node), batches, self.width,
+                self.transfer_step, self.copy_step,
+            )
+
+        cluster.run_phase(
+            shard_holder,
             tasks=len(node_groups),
             profile=profile,
             task_nodes=[node for node, _ in node_groups],

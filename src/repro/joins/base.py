@@ -145,6 +145,7 @@ class DistributedJoin(abc.ABC):
                 "left undelivered after the join"
             )
         output_rows = sum(p.num_rows for p in output)
+        profile.record_network_load(cluster.network.ledger)
         return JoinResult(
             algorithm=self.name,
             output_rows=output_rows,

@@ -57,6 +57,11 @@ class AlgorithmInfo:
         family).  Graceful degradation keys on this: when tracking
         traffic exhausts its fault budget, the executor falls back to
         the cheapest non-tracking entry.
+    skew_resistant:
+        True for operators that keep per-node received bytes bounded
+        under heavy key skew (load-aware destinations, heavy-hitter
+        sharding).  The optimizer's load-weighted ranking penalizes
+        entries without it when statistics report a heavy hitter.
     """
 
     name: str
@@ -65,6 +70,7 @@ class AlgorithmInfo:
     cost: CostFn | None = None
     paper_label: str | None = None
     tracking: bool = False
+    skew_resistant: bool = False
 
 
 def _formulas():
@@ -82,6 +88,18 @@ def _track_join():
     from ..core import track_join
 
     return track_join
+
+
+def _balance():
+    from ..core import balance
+
+    return balance
+
+
+def _skew():
+    from ..core import skew
+
+    return skew
 
 
 #: Registry order matters: it is the optimizer's tie-break (see module
@@ -136,6 +154,27 @@ ALGORITHMS: tuple[AlgorithmInfo, ...] = (
         cost=lambda stats, classes: _formulas().track4_cost(stats, classes),
         paper_label="4TJ",
         tracking=True,
+    ),
+    # Extensions beyond the paper's measured variants (Section 5 future
+    # work): appended after the paper rows so tie-breaks and table
+    # order stay historical.
+    AlgorithmInfo(
+        "4TJ-bal",
+        "4-phase track join with load-balanced destination choices",
+        lambda: _balance().BalanceAwareTrackJoin(),
+        # At zero tolerance the balancer only re-picks cost-equivalent
+        # destinations, so its traffic estimate is the plain 4-phase one.
+        cost=lambda stats, classes: _formulas().track4_cost(stats, classes),
+        tracking=True,
+        skew_resistant=True,
+    ),
+    AlgorithmInfo(
+        "4TJ-shard",
+        "4-phase track join with heavy-hitter sharding",
+        lambda: _skew().SkewShardTrackJoin(),
+        cost=lambda stats, classes: _formulas().track4_shard_cost(stats, classes),
+        tracking=True,
+        skew_resistant=True,
     ),
 )
 

@@ -5,10 +5,13 @@ from .bench import (
     bench_kernels,
     bench_scaling,
     bench_scaling_report,
+    bench_skew,
+    bench_skew_report,
     bench_smoke,
     best_time,
     check_regressions,
     check_scaling,
+    check_skew,
     lint_summary,
     peak_alloc,
     peak_rss_bytes,
@@ -20,10 +23,13 @@ __all__ = [
     "bench_kernels",
     "bench_scaling",
     "bench_scaling_report",
+    "bench_skew",
+    "bench_skew_report",
     "bench_smoke",
     "best_time",
     "check_regressions",
     "check_scaling",
+    "check_skew",
     "lint_summary",
     "peak_alloc",
     "peak_rss_bytes",

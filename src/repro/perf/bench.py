@@ -53,9 +53,12 @@ __all__ = [
     "bench_joins",
     "bench_scaling",
     "bench_scaling_report",
+    "bench_skew",
+    "bench_skew_report",
     "bench_smoke",
     "check_regressions",
     "check_scaling",
+    "check_skew",
     "lint_summary",
     "write_report",
 ]
@@ -523,6 +526,149 @@ def bench_scaling_report(
         else:
             print(f"          gate skipped: {gate.get('reason')}")
     failures = check_scaling(scaling)
+    for failure in failures:
+        print(f"REGRESSION {failure}")
+    return 1 if failures else 0
+
+
+#: Skew ablation gate: sharding must cut the peak per-node received
+#: bytes at least this much ...
+SKEW_GATE_MAX_LOAD_GAIN = 2.0
+#: ... while total traffic stays within this factor of plain 4TJ.
+SKEW_GATE_TRAFFIC_RATIO = 1.25
+
+
+def bench_skew(
+    scaled_tuples: int = 50_000,
+    num_nodes: int = 16,
+    distinct_keys: int = 5_000,
+    skew: float = 1.2,
+    hot_fraction: float = 0.05,
+    seed: int = 0,
+) -> dict:
+    """Skew ablation: plain 4TJ vs heavy-hitter sharding on hot keys.
+
+    Runs both operators on the identical Zipf hot-key workload
+    (:func:`~repro.workloads.synthetic.hot_key_workload`) and records
+    each ledger's total and per-node-peak bytes.  The gate asserts the
+    point of sharding: ``max_received_bytes`` drops by at least
+    :data:`SKEW_GATE_MAX_LOAD_GAIN` while total traffic stays within
+    :data:`SKEW_GATE_TRAFFIC_RATIO` of the traffic-optimal plan — and
+    both runs produce the same output cardinality.
+    """
+    from ..core.skew import SkewShardTrackJoin
+    from ..workloads.synthetic import hot_key_workload
+
+    spec = _bench_spec()
+    cases = (
+        ("4TJ", lambda: create("4TJ")),
+        ("4TJ-shard", lambda: SkewShardTrackJoin(hot_fraction=hot_fraction)),
+    )
+    rows: dict[str, dict] = {}
+    for label, factory in cases:
+        workload = hot_key_workload(
+            num_nodes=num_nodes,
+            tuples_per_table=scaled_tuples,
+            distinct_keys=distinct_keys,
+            skew=skew,
+            seed=seed,
+        )
+        result = factory().run(
+            workload.cluster, workload.table_r, workload.table_s, spec
+        )
+        ledger = result.traffic
+        rows[label] = {
+            "output_rows": result.output_rows,
+            "total_bytes": ledger.total_bytes,
+            "max_received_bytes": ledger.max_received_bytes,
+            "max_sent_bytes": ledger.max_sent_bytes,
+            "receive_skew": result.node_balance()["receive_skew"],
+        }
+    base, shard = rows["4TJ"], rows["4TJ-shard"]
+    max_load_gain = (
+        base["max_received_bytes"] / shard["max_received_bytes"]
+        if shard["max_received_bytes"]
+        else float("inf")
+    )
+    traffic_ratio = (
+        shard["total_bytes"] / base["total_bytes"] if base["total_bytes"] else 1.0
+    )
+    rows_match = base["output_rows"] == shard["output_rows"]
+    return {
+        "config": {
+            "scaled_tuples": scaled_tuples,
+            "num_nodes": num_nodes,
+            "distinct_keys": distinct_keys,
+            "skew": skew,
+            "hot_fraction": hot_fraction,
+            "seed": seed,
+        },
+        "algorithms": rows,
+        "max_load_gain": max_load_gain,
+        "traffic_ratio": traffic_ratio,
+        "rows_match": rows_match,
+        "skew_gate": {
+            "max_load_gain_threshold": SKEW_GATE_MAX_LOAD_GAIN,
+            "traffic_ratio_threshold": SKEW_GATE_TRAFFIC_RATIO,
+            "passed": (
+                rows_match
+                and max_load_gain >= SKEW_GATE_MAX_LOAD_GAIN
+                and traffic_ratio <= SKEW_GATE_TRAFFIC_RATIO
+            ),
+        },
+    }
+
+
+def check_skew(report: dict) -> list[str]:
+    """Gate failures of one :func:`bench_skew` report (empty = pass)."""
+    failures = []
+    if not report["rows_match"]:
+        rows = {k: v["output_rows"] for k, v in report["algorithms"].items()}
+        failures.append(f"skew: output cardinality diverged ({rows})")
+    gate = report["skew_gate"]
+    if report["max_load_gain"] < gate["max_load_gain_threshold"]:
+        failures.append(
+            f"skew: max-load gain {report['max_load_gain']:.2f}x below "
+            f"{gate['max_load_gain_threshold']:.2f}x"
+        )
+    if report["traffic_ratio"] > gate["traffic_ratio_threshold"]:
+        failures.append(
+            f"skew: traffic ratio {report['traffic_ratio']:.3f}x above "
+            f"{gate['traffic_ratio_threshold']:.2f}x"
+        )
+    return failures
+
+
+def bench_skew_report(
+    out_path: str | Path = "BENCH_joins.json",
+    **kwargs,
+) -> int:
+    """Run :func:`bench_skew` and merge the ablation into ``out_path``.
+
+    Other keys of an existing report (kernels, joins, scaling) are
+    preserved, mirroring :func:`bench_scaling_report`.  Returns
+    non-zero when :func:`check_skew` finds a gate failure.
+    """
+    skew = bench_skew(**kwargs)
+    out_file = Path(out_path)
+    payload = {}
+    if out_file.exists() and out_file.read_text().strip():
+        payload = json.loads(out_file.read_text())
+    payload["skew"] = skew
+    write_report(out_file, payload)
+    print(f"wrote {out_path}")
+    for label, row in skew["algorithms"].items():
+        print(
+            f"  {label:9s} total {row['total_bytes']:.3e}B  "
+            f"max-recv {row['max_received_bytes']:.3e}B  "
+            f"recv-skew {row['receive_skew']:.2f}"
+        )
+    print(
+        f"  gate: max-load gain {skew['max_load_gain']:.2f}x "
+        f"(>= {SKEW_GATE_MAX_LOAD_GAIN}x), traffic "
+        f"{skew['traffic_ratio']:.3f}x (<= {SKEW_GATE_TRAFFIC_RATIO}x)"
+    )
+    failures = check_skew(skew)
     for failure in failures:
         print(f"REGRESSION {failure}")
     return 1 if failures else 0

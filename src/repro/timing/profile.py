@@ -85,8 +85,32 @@ class ExecutionProfile:
         #: timings — non-deterministic by nature — so they are excluded
         #: from lane merging, golden comparisons, and :meth:`merge`.
         self.phase_timings: list[dict] = []
+        #: Per-node network load summary recorded from the traffic
+        #: ledger when the join finishes (``max_received_bytes``,
+        #: ``max_sent_bytes``, ``mean_received_bytes``).  Like
+        #: ``phase_timings`` it is a run-level annotation, excluded from
+        #: lane merging and :meth:`merge`.
+        self.network_load: dict[str, float] = {}
         self._phase_lanes: list["ExecutionProfile"] | None = None
         self._tls = threading.local()
+
+    def record_network_load(self, ledger) -> None:
+        """Snapshot the ledger's per-node load extremes into the profile.
+
+        Called once per join, right before the cluster's ledger is
+        detached from the run; keeps the skew metrics available from
+        the profile after the ledger moves on.
+        """
+        received = ledger.received_by_node
+        self.network_load = {
+            "max_received_bytes": ledger.max_received_bytes,
+            "max_sent_bytes": ledger.max_sent_bytes,
+            "mean_received_bytes": (
+                float(sum(received.values()) / self.num_nodes)
+                if self.num_nodes
+                else 0.0
+            ),
+        }
 
     # -- phases and lanes ------------------------------------------------
 

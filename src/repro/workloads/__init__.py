@@ -17,6 +17,7 @@ from .synthetic import (
     PATTERN_PARTIAL,
     PATTERN_SPREAD,
     both_sides_pattern_workload,
+    hot_key_workload,
     single_side_pattern_workload,
     unique_keys_workload,
     zipf_workload,
@@ -28,6 +29,7 @@ __all__ = [
     "single_side_pattern_workload",
     "both_sides_pattern_workload",
     "zipf_workload",
+    "hot_key_workload",
     "tpch_tables",
     "TPCH_BASE_ROWS",
     "PATTERN_COLLOCATED",

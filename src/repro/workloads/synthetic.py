@@ -27,6 +27,7 @@ __all__ = [
     "single_side_pattern_workload",
     "both_sides_pattern_workload",
     "zipf_workload",
+    "hot_key_workload",
     "PATTERN_COLLOCATED",
     "PATTERN_PARTIAL",
     "PATTERN_SPREAD",
@@ -241,5 +242,78 @@ def zipf_workload(
         notes=(
             f"{tuples_per_table} tuples per table over {distinct_keys} keys, "
             f"zipf skew {skew}"
+        ),
+    )
+
+
+def hot_key_workload(
+    num_nodes: int = 16,
+    tuples_per_table: int = 100_000,
+    distinct_keys: int = 10_000,
+    skew: float = 1.2,
+    hot_threshold: float = 0.02,
+    probe_factor: float = 3.0,
+    row_bytes_r: int = 30,
+    row_bytes_s: int = 60,
+    seed: int = 0,
+) -> Workload:
+    """Heavy hitters that the 4-phase scheduler *consolidates*.
+
+    The build side ``S`` draws keys from a Zipf(``skew``) distribution,
+    so a handful of keys dominate it.  The probe side ``R`` is uniform
+    background **plus** ``probe_factor / num_nodes`` of each hot key's
+    build count as probe rows — enough probe bytes that migrating the
+    hot key's build tuples beats replicating the probes (Theorem 1), so
+    plain 4TJ piles each hot key onto a single destination.  This is
+    the skew ablation's worst case: minimal total traffic with maximal
+    per-node received bytes, the regime heavy-hitter sharding
+    (:class:`~repro.core.skew.SkewShardTrackJoin`) is built for.
+
+    ``hot_threshold`` is the build-frequency fraction above which a key
+    gets probe amplification; all draws are deterministic per ``seed``.
+    """
+    if skew < 0:
+        raise WorkloadError(f"zipf skew must be non-negative, got {skew}")
+    if distinct_keys <= 0:
+        raise WorkloadError("need at least one distinct key")
+    if not 0.0 < hot_threshold < 1.0:
+        raise WorkloadError(f"hot_threshold must be in (0, 1), got {hot_threshold}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, distinct_keys + 1, dtype=np.float64)
+    weights = ranks**-skew
+    probabilities = weights / weights.sum()
+    keys_s = rng.choice(distinct_keys, size=tuples_per_table, p=probabilities)
+    counts_s = np.bincount(keys_s, minlength=distinct_keys)
+    hot = np.flatnonzero(counts_s > hot_threshold * tuples_per_table)
+    keys_r_background = rng.integers(0, distinct_keys, size=tuples_per_table)
+    probe_rows = [
+        np.full(
+            int(np.ceil(probe_factor * counts_s[key] / num_nodes)), key, dtype=np.int64
+        )
+        for key in hot
+    ]
+    keys_r = np.concatenate([keys_r_background.astype(np.int64)] + probe_rows)
+    cluster = Cluster(num_nodes)
+    table_r = cluster.table_from_assignment(
+        "R",
+        _schema_for_row_bytes(row_bytes_r),
+        keys_r,
+        random_uniform(len(keys_r), num_nodes, seed=seed * 17 + 1),
+    )
+    table_s = cluster.table_from_assignment(
+        "S",
+        _schema_for_row_bytes(row_bytes_s),
+        keys_s.astype(np.int64),
+        random_uniform(tuples_per_table, num_nodes, seed=seed * 17 + 2),
+    )
+    return Workload(
+        name=f"hot-key-{skew}",
+        cluster=cluster,
+        table_r=table_r,
+        table_s=table_s,
+        scale=1.0,
+        notes=(
+            f"{tuples_per_table} build tuples over {distinct_keys} keys, "
+            f"zipf skew {skew}, {len(hot)} hot keys amplified on the probe side"
         ),
     )

@@ -10,6 +10,7 @@ from repro.costmodel import choose_algorithm
 from repro.costmodel.histogram import (
     KeyHistogram,
     estimate_distinct,
+    heavy_hitters,
     stats_from_histograms,
 )
 from repro.errors import CostModelError
@@ -80,6 +81,48 @@ class TestKeyHistogram:
         a = KeyHistogram.build(np.arange(0, 1000))
         b = KeyHistogram.build(np.arange(500, 1500))
         assert a.overlap_fraction(b) == pytest.approx(0.5, abs=0.1)
+
+
+class TestHeavyHitters:
+    def test_empty_column(self):
+        values, counts = heavy_hitters(np.array([], dtype=np.int64))
+        assert len(values) == 0 and len(counts) == 0
+
+    def test_all_distinct_returns_nothing(self):
+        values, _ = heavy_hitters(np.arange(100_000, dtype=np.int64), threshold=0.01)
+        assert len(values) == 0
+
+    def test_single_key_column(self):
+        values, counts = heavy_hitters(np.full(1_000, 7, dtype=np.int64))
+        np.testing.assert_array_equal(values, [7])
+        np.testing.assert_array_equal(counts, [1_000])
+
+    def test_threshold_boundary_is_strict(self):
+        # Key 3 holds exactly 25% of the rows: a 0.25 threshold excludes
+        # it (strictly greater), a marginally lower one includes it.
+        keys = np.concatenate(
+            [np.full(250, 3), np.arange(1_000, 1_750)]
+        ).astype(np.int64)
+        at_threshold, _ = heavy_hitters(keys, threshold=0.25)
+        assert len(at_threshold) == 0
+        below, counts = heavy_hitters(keys, threshold=0.24)
+        np.testing.assert_array_equal(below, [3])
+        np.testing.assert_array_equal(counts, [250])
+
+    def test_finds_zipf_head_with_exact_counts(self):
+        rng = np.random.default_rng(5)
+        keys = rng.zipf(1.5, 50_000).astype(np.int64)
+        values, counts = heavy_hitters(keys, threshold=0.05)
+        assert len(values) >= 1
+        assert 1 in values  # the Zipf head is always the hottest key
+        for value, count in zip(values, counts):
+            assert count == (keys == value).sum()
+            assert count > 0.05 * len(keys)
+
+    def test_invalid_threshold(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(CostModelError):
+                heavy_hitters(np.array([1, 2, 3]), threshold=bad)
 
 
 class TestStatsFromHistograms:

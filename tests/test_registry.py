@@ -19,7 +19,17 @@ from repro.joins.registry import ALGORITHMS, algorithm, algorithm_names, create
 
 #: Registry order is contractual: the optimizer's stable-sort tie-break
 #: and the experiment tables' row order both derive from it.
-EXPECTED_ORDER = ("BJ-R", "BJ-S", "HJ", "2TJ-R", "2TJ-S", "3TJ", "4TJ")
+EXPECTED_ORDER = (
+    "BJ-R",
+    "BJ-S",
+    "HJ",
+    "2TJ-R",
+    "2TJ-S",
+    "3TJ",
+    "4TJ",
+    "4TJ-bal",
+    "4TJ-shard",
+)
 
 
 def _stats() -> JoinStats:

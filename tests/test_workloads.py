@@ -225,6 +225,77 @@ class TestZipfWorkload:
             zipf_workload(distinct_keys=0)
 
 
+class TestHotKeyWorkload:
+    def test_deterministic_given_seed(self):
+        from repro.workloads import hot_key_workload
+
+        first = hot_key_workload(num_nodes=4, tuples_per_table=5_000, seed=3)
+        second = hot_key_workload(num_nodes=4, tuples_per_table=5_000, seed=3)
+        np.testing.assert_array_equal(
+            first.table_s.all_keys(), second.table_s.all_keys()
+        )
+        np.testing.assert_array_equal(
+            first.table_r.all_keys(), second.table_r.all_keys()
+        )
+        for node in range(4):
+            np.testing.assert_array_equal(
+                first.table_r.partitions[node].keys,
+                second.table_r.partitions[node].keys,
+            )
+
+    def test_build_side_has_zipf_head(self):
+        from repro.workloads import hot_key_workload
+
+        wl = hot_key_workload(
+            num_nodes=4, tuples_per_table=20_000, distinct_keys=2_000, skew=1.2
+        )
+        counts = np.bincount(wl.table_s.all_keys(), minlength=2_000)
+        assert counts.max() > 0.02 * 20_000  # the head crosses hot_threshold
+        # Zipf rank order: key 0 is the hottest.
+        assert counts.argmax() == 0
+
+    def test_probe_amplification_tracks_hot_keys(self):
+        from repro.workloads import hot_key_workload
+
+        wl = hot_key_workload(
+            num_nodes=4,
+            tuples_per_table=20_000,
+            distinct_keys=2_000,
+            hot_threshold=0.02,
+            probe_factor=3.0,
+        )
+        counts_s = np.bincount(wl.table_s.all_keys(), minlength=2_000)
+        counts_r = np.bincount(wl.table_r.all_keys(), minlength=2_000)
+        hot = np.flatnonzero(counts_s > 0.02 * 20_000)
+        assert len(hot) >= 1
+        background_mean = counts_r.mean()
+        for key in hot:
+            # Background (~10/key) plus ceil(3/4 of the build count).
+            expected = np.ceil(3.0 * counts_s[key] / 4)
+            assert counts_r[key] >= expected
+            assert counts_r[key] >= 5 * background_mean
+
+    def test_row_widths(self):
+        from repro.workloads import hot_key_workload
+
+        wl = hot_key_workload(
+            num_nodes=4, tuples_per_table=2_000, row_bytes_r=30, row_bytes_s=60
+        )
+        encoding = DictionaryEncoding()
+        assert wl.table_r.schema.tuple_width(encoding) == pytest.approx(30)
+        assert wl.table_s.schema.tuple_width(encoding) == pytest.approx(60)
+
+    def test_invalid_parameters(self):
+        from repro.workloads import hot_key_workload
+
+        with pytest.raises(WorkloadError):
+            hot_key_workload(skew=-1.0)
+        with pytest.raises(WorkloadError):
+            hot_key_workload(distinct_keys=0)
+        with pytest.raises(WorkloadError):
+            hot_key_workload(hot_threshold=0.0)
+
+
 class TestTpch:
     def test_cardinalities_follow_scale_factor(self):
         from repro import Cluster
